@@ -1,0 +1,118 @@
+// Command litmus runs the LKMM litmus-test suite against OEMU and prints
+// the observable outcomes of each shape — the §3.3/§10.1 compliance
+// evidence. "allowed" outcomes must be reachable (OEMU can emulate the weak
+// behaviour); "forbidden" outcomes must never appear (OEMU never reorders
+// across a real barrier or against coherence).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ozz/internal/lkmm"
+)
+
+type suiteEntry struct {
+	test      *lkmm.Test
+	allowed   []lkmm.Outcome // must be observable
+	forbidden []lkmm.Outcome // must not be observable
+	comment   string
+}
+
+func suite() []suiteEntry {
+	mp := func(name string, b0, b1 []lkmm.Op) *lkmm.Test {
+		t0 := append([]lkmm.Op{lkmm.W(0, 1)}, b0...)
+		t0 = append(t0, lkmm.W(1, 1))
+		t1 := append([]lkmm.Op{lkmm.R(1, 0)}, b1...)
+		t1 = append(t1, lkmm.R(0, 1))
+		return &lkmm.Test{Name: name, Threads: [][]lkmm.Op{t0, t1}, NumLocs: 2, NumRegs: 2}
+	}
+	return []suiteEntry{
+		{
+			test:    mp("MP (relaxed)", nil, nil),
+			allowed: []lkmm.Outcome{"r0=1;r1=0"},
+			comment: "no barriers: the stale observation is allowed and OEMU reaches it",
+		},
+		{
+			test:      mp("MP+wmb+rmb", []lkmm.Op{lkmm.Wmb()}, []lkmm.Op{lkmm.Rmb()}),
+			forbidden: []lkmm.Outcome{"r0=1;r1=0"},
+			comment:   "the Fig. 1 pair: both barriers forbid the stale observation (LKMM cases 2+3)",
+		},
+		{
+			test:    mp("MP+wmb only", []lkmm.Op{lkmm.Wmb()}, nil),
+			allowed: []lkmm.Outcome{"r0=1;r1=0"},
+			comment: "writer ordered, reader not: still weak — why Fig. 1 needs BOTH barriers",
+		},
+		{
+			test:      mp("MP+mb+mb", []lkmm.Op{lkmm.Mb()}, []lkmm.Op{lkmm.Mb()}),
+			forbidden: []lkmm.Outcome{"r0=1;r1=0"},
+			comment:   "full barriers (LKMM case 1)",
+		},
+		{
+			test: &lkmm.Test{Name: "MP+rel+acq", Threads: [][]lkmm.Op{
+				{lkmm.W(0, 1), lkmm.WRel(1, 1)},
+				{lkmm.RAcq(1, 0), lkmm.R(0, 1)},
+			}, NumLocs: 2, NumRegs: 2},
+			forbidden: []lkmm.Outcome{"r0=1;r1=0"},
+			comment:   "smp_store_release / smp_load_acquire (LKMM cases 4+5)",
+		},
+		{
+			test: &lkmm.Test{Name: "SB (relaxed)", Threads: [][]lkmm.Op{
+				{lkmm.WOnce(0, 1), lkmm.ROnce(1, 0)},
+				{lkmm.WOnce(1, 1), lkmm.ROnce(0, 1)},
+			}, NumLocs: 2, NumRegs: 2},
+			allowed: []lkmm.Outcome{"r0=0;r1=0"},
+			comment: "store buffering with Relaxed atomics: the Fig. 10 Rust example's shape",
+		},
+		{
+			test: &lkmm.Test{Name: "SB+mb", Threads: [][]lkmm.Op{
+				{lkmm.W(0, 1), lkmm.Mb(), lkmm.R(1, 0)},
+				{lkmm.W(1, 1), lkmm.Mb(), lkmm.R(0, 1)},
+			}, NumLocs: 2, NumRegs: 2},
+			forbidden: []lkmm.Outcome{"r0=0;r1=0"},
+			comment:   "only smp_mb orders store-load",
+		},
+		{
+			test: &lkmm.Test{Name: "LB", Threads: [][]lkmm.Op{
+				{lkmm.R(1, 0), lkmm.W(0, 1)},
+				{lkmm.R(0, 1), lkmm.W(1, 1)},
+			}, NumLocs: 2, NumRegs: 2},
+			forbidden: []lkmm.Outcome{"r0=1;r1=1"},
+			comment:   "load buffering needs load-store reordering: out of OEMU's scope by design (§3)",
+		},
+		{
+			test: &lkmm.Test{Name: "CoRR", Threads: [][]lkmm.Op{
+				{lkmm.W(0, 1)},
+				{lkmm.R(0, 0), lkmm.R(0, 1)},
+			}, NumLocs: 1, NumRegs: 2},
+			forbidden: []lkmm.Outcome{"r0=1;r1=0"},
+			comment:   "per-location read-read coherence holds on every architecture (even Alpha)",
+		},
+	}
+}
+
+func main() {
+	fail := false
+	for _, e := range suite() {
+		res := lkmm.Run(e.test)
+		status := "ok"
+		for _, o := range e.allowed {
+			if !res.Has(o) {
+				status = fmt.Sprintf("FAIL: allowed outcome %s unreachable", o)
+				fail = true
+			}
+		}
+		for _, o := range e.forbidden {
+			if res.Has(o) {
+				status = fmt.Sprintf("FAIL: forbidden outcome %s observed", o)
+				fail = true
+			}
+		}
+		fmt.Printf("%-16s %-60s [%s]\n", e.test.Name, e.comment, status)
+		fmt.Printf("  outcomes (%d runs): %v\n", res.Runs, res.Sorted())
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("\nall litmus shapes comply with the LKMM")
+}

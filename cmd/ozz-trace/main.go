@@ -1,0 +1,140 @@
+// Command ozz-trace is the developer lens on OZZ's first two phases: it
+// runs a program single-threaded with profiling (§4.2), dumps each call's
+// memory-access five-tuples and barrier three-tuples with symbolic site
+// names, and prints the scheduling hints Algorithm 1 derives for a chosen
+// call pair — the exact inputs the MTI executor would consume.
+//
+// Usage:
+//
+//	ozz-trace -modules watchqueue -prog prog.txt [-pair 1,2] [-bugs sw1,sw2]
+//
+// The program file uses the corpus text form, e.g.:
+//
+//	r0 = wq_create()
+//	wq_post_notification(r0, 0x4)
+//	wq_pipe_read(r0)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ozz/internal/core"
+	"ozz/internal/hints"
+	"ozz/internal/modules"
+	"ozz/internal/trace"
+)
+
+func main() {
+	var (
+		mods = flag.String("modules", "", "comma-separated modules (default: all)")
+		bugs = flag.String("bugs", "", "bug switches to enable")
+		prog = flag.String("prog", "", "program file (default: the module's first seed)")
+		pair = flag.String("pair", "", `call pair to compute hints for, e.g. "1,2" (default: all pairs)`)
+	)
+	flag.Parse()
+
+	var modList []string
+	if *mods != "" {
+		modList = strings.Split(*mods, ",")
+	}
+	var bugSet modules.BugSet
+	if *bugs != "" {
+		bugSet = modules.Bugs(strings.Split(*bugs, ",")...)
+	}
+	target := modules.Target(modList...)
+
+	src := ""
+	if *prog != "" {
+		data, err := os.ReadFile(*prog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src = string(data)
+	} else {
+		seeds := modules.Seeds(modList...)
+		if len(seeds) == 0 {
+			fmt.Fprintln(os.Stderr, "no seeds; pass -prog")
+			os.Exit(1)
+		}
+		src = seeds[0]
+	}
+	p, err := target.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	env := core.NewEnv(modList, bugSet)
+	sti := env.RunSTI(p)
+	fmt.Println("program:")
+	for _, line := range strings.Split(strings.TrimRight(p.String(), "\n"), "\n") {
+		fmt.Println("  " + line)
+	}
+	if sti.Crash != nil {
+		fmt.Printf("sequential crash: %s\n", sti.Crash.Title)
+		return
+	}
+	for ci, events := range sti.CallEvents {
+		fmt.Printf("\ncall %d: %s -> %d (%d events)\n", ci, p.Calls[ci].Def.Name,
+			int64(sti.Returns[ci]), len(events))
+		for _, e := range events {
+			if e.Barrier {
+				implicit := ""
+				if e.Bar.Implicit {
+					implicit = " (implicit)"
+				}
+				fmt.Printf("  %-10s t=%-5d %s%s\n", e.Bar.Kind, e.Bar.Time,
+					modules.SiteName(e.Bar.Instr), implicit)
+				continue
+			}
+			fmt.Printf("  %-10s t=%-5d addr=0x%-8x %-8s %s\n",
+				e.Acc.Kind, e.Acc.Time, uint64(e.Acc.Addr), e.Acc.Atomic,
+				modules.SiteName(e.Acc.Instr))
+		}
+	}
+
+	pairs := [][2]int{}
+	if *pair != "" {
+		var i, j int
+		if _, err := fmt.Sscanf(*pair, "%d,%d", &i, &j); err != nil {
+			fmt.Fprintln(os.Stderr, "bad -pair")
+			os.Exit(2)
+		}
+		pairs = append(pairs, [2]int{i, j})
+	} else {
+		for i := 0; i < len(p.Calls); i++ {
+			for j := i + 1; j < len(p.Calls); j++ {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	for _, pr := range pairs {
+		i, j := pr[0], pr[1]
+		if i < 0 || j >= len(p.Calls) || i >= j {
+			continue
+		}
+		hs := hints.Calculate(sti.CallEvents[i], sti.CallEvents[j])
+		if len(hs) == 0 {
+			continue
+		}
+		fmt.Printf("\nhints for (%s, %s): %d\n", p.Calls[i].Def.Name, p.Calls[j].Def.Name, len(hs))
+		for rank, h := range hs {
+			who := p.Calls[i].Def.Name
+			if h.Reorderer == 1 {
+				who = p.Calls[j].Def.Name
+			}
+			names := make([]string, len(h.Reorder))
+			for k, s := range h.Reorder {
+				names[k] = modules.SiteName(s)
+			}
+			fmt.Printf("  #%d [%s %s] reorderer=%s sched=%s\n      reorder: %s\n",
+				rank+1, h.Type(), h.Test, who, modules.SiteName(h.Sched),
+				strings.Join(names, "; "))
+		}
+	}
+	_ = trace.NoInstr
+}

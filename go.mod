@@ -1,0 +1,3 @@
+module ozz
+
+go 1.22

@@ -1,0 +1,150 @@
+// Package ofence implements an OFence-style static paired-barrier analysis
+// (the §6.4 comparison; Lepers et al., EuroSys '23). OFence's premise is
+// that memory barriers come in pairs — a publisher's smp_wmb (or release)
+// is matched by an observer's smp_rmb (or acquire). A code path where only
+// ONE half of such a pair is present around shared data is a likely OOO
+// bug. Being a source-level pattern matcher, it sees only EXPLICIT barrier
+// calls (not the ordering implied by atomics or annotated loads) and needs
+// no execution — but bugs that never had a pair half in the source fall
+// outside its patterns entirely (8 of the paper's 11 new bugs, §6.4).
+//
+// Our "source" is the per-call access/barrier summary extracted from the
+// modules' seed programs — structurally what OFence extracts from the
+// kernel source with static analysis.
+package ofence
+
+import (
+	"fmt"
+	"sort"
+
+	"ozz/internal/core"
+	"ozz/internal/hints"
+	"ozz/internal/modules"
+	"ozz/internal/trace"
+)
+
+// Finding is one unpaired-barrier pattern match.
+type Finding struct {
+	Module  string
+	Writer  string // the call publishing shared data
+	Reader  string // the call consuming it
+	Missing string // "write-side barrier" or "read-side barrier"
+}
+
+// String renders the finding.
+func (f *Finding) String() string {
+	return fmt.Sprintf("ofence: %s: missing %s between %s and %s",
+		f.Module, f.Missing, f.Writer, f.Reader)
+}
+
+// summary is a call's explicit-barrier profile restricted to its shared
+// accesses with a peer.
+type summary struct {
+	stores, loads     bool
+	storeBar, loadBar bool // explicit smp_wmb/release, smp_rmb/acquire
+	// annotatedLoad: a shared load is READ_ONCE/atomic/acquire. OFence's
+	// pattern excludes such readers — their ordering can come from the
+	// annotation + an address dependency, so the absence of an explicit
+	// smp_rmb is not evidence of a missing pair half.
+	annotatedLoad bool
+}
+
+func summarize(events []trace.Event) summary {
+	var s summary
+	for _, e := range events {
+		if e.Barrier {
+			if e.Bar.Implicit {
+				continue // invisible to source-level matching
+			}
+			switch e.Bar.Kind {
+			case trace.BarrierStore, trace.BarrierRelease, trace.BarrierFull:
+				s.storeBar = true
+			}
+			switch e.Bar.Kind {
+			case trace.BarrierLoad, trace.BarrierAcquire, trace.BarrierFull:
+				s.loadBar = true
+			}
+			continue
+		}
+		if e.Acc.Kind == trace.Store {
+			s.stores = true
+		} else {
+			s.loads = true
+			if e.Acc.Atomic != trace.Plain {
+				s.annotatedLoad = true
+			}
+		}
+	}
+	return s
+}
+
+// Analyze runs the pattern matcher over a module's seed programs with the
+// given bug switches applied (the "source under analysis") and returns the
+// unpaired-barrier findings.
+func Analyze(modName string, bugs modules.BugSet) []*Finding {
+	mod := modules.ByName(modName)
+	if mod == nil {
+		return nil
+	}
+	env := core.NewEnv([]string{modName}, bugs)
+	target := modules.Target(modName)
+	seen := map[string]bool{}
+	var findings []*Finding
+	for _, src := range mod.Seeds {
+		p, err := target.Parse(src)
+		if err != nil {
+			continue
+		}
+		sti := env.RunSTI(p)
+		if sti.Crash != nil {
+			continue
+		}
+		for i := 0; i < len(p.Calls); i++ {
+			for j := 0; j < len(p.Calls); j++ {
+				if i == j {
+					continue
+				}
+				fi, fj := hints.FilterOut(sti.CallEvents[i], sti.CallEvents[j])
+				w, r := summarize(fi), summarize(fj)
+				// The pattern: call i publishes (stores shared
+				// data), call j consumes (loads it). A barrier on
+				// exactly one side is an unpaired half.
+				if !w.stores || !r.loads {
+					continue
+				}
+				var missing string
+				switch {
+				case r.loadBar && !w.storeBar:
+					// An explicit read-side half without its
+					// write-side partner.
+					missing = "write-side barrier"
+				case w.storeBar && !r.loadBar && !r.annotatedLoad:
+					// An explicit write-side half whose reader
+					// has neither an explicit read barrier nor
+					// an annotated (dependency-ordered) load.
+					missing = "read-side barrier"
+				default:
+					continue
+				}
+				f := &Finding{
+					Module:  modName,
+					Writer:  p.Calls[i].Def.Name,
+					Reader:  p.Calls[j].Def.Name,
+					Missing: missing,
+				}
+				if key := f.String(); !seen[key] {
+					seen[key] = true
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(a, b int) bool { return findings[a].String() < findings[b].String() })
+	return findings
+}
+
+// Detects reports whether the analysis flags anything when the given bug is
+// enabled (the §6.4 question: does the bug fall inside OFence's patterns?).
+func Detects(b modules.BugInfo) bool {
+	return len(Analyze(b.Module, modules.Bugs(b.Switch))) > 0
+}

@@ -1,0 +1,93 @@
+package ofence
+
+import (
+	"testing"
+
+	"ozz/internal/modules"
+)
+
+// TestCleanModulesQuiet: with every barrier present, the paired-barrier
+// patterns are satisfied — no findings on the fixed bug corpus. The vfs
+// substrate module is the deliberate exception (see
+// TestVfsFalsePositive).
+func TestCleanModulesQuiet(t *testing.T) {
+	for _, m := range modules.All() {
+		if m.Name == "vfs" {
+			continue
+		}
+		if fs := Analyze(m.Name, nil); len(fs) != 0 {
+			t.Errorf("%s: false positives on fixed module: %v", m.Name, fs)
+		}
+	}
+}
+
+// TestVfsFalsePositive documents a genuine weakness of static barrier
+// pairing (§6.4: OFence "relies on predefined patterns to avoid excessive
+// false positives"): vfs_pipe's pipe-object INITIALIZATION store and
+// pipe_read's smp_rmb look like an unpaired half, but the rmb actually
+// pairs with pipe_write's wmb — the code is correct, the pattern fires
+// anyway. OZZ's dynamic test, by contrast, stays quiet on this module
+// (TestCleanCorpusQuiet in internal/core).
+func TestVfsFalsePositive(t *testing.T) {
+	fs := Analyze("vfs", nil)
+	if len(fs) == 0 {
+		t.Skip("pattern did not fire (analysis tightened?)")
+	}
+	for _, f := range fs {
+		if f.Reader != "vfs_pipe_read" {
+			t.Errorf("unexpected finding: %v", f)
+		}
+	}
+}
+
+// TestTable3Coverage mirrors §6.4: exactly the bugs whose buggy code
+// retains one half of a barrier pair are detectable; the paper counts 8 of
+// the 11 new bugs as outside OFence's patterns.
+func TestTable3Coverage(t *testing.T) {
+	detectable, total := 0, 0
+	for _, b := range modules.AllBugs() {
+		if b.Table != 3 {
+			continue
+		}
+		total++
+		got := Detects(b)
+		if got != b.OFencePattern {
+			t.Errorf("bug %s (%s): ofence detects=%v, ground truth %v",
+				b.ID, b.Switch, got, b.OFencePattern)
+		}
+		if got {
+			detectable++
+		}
+	}
+	if total != 11 {
+		t.Fatalf("Table 3 corpus has %d bugs, want 11", total)
+	}
+	if undetectable := total - detectable; undetectable != 8 {
+		t.Errorf("OFence misses %d/11 bugs, paper reports 8/11", undetectable)
+	}
+}
+
+// TestFindingNamesThePair: a finding names the writer/reader calls so a
+// developer can locate the unpaired barrier.
+func TestFindingNamesThePair(t *testing.T) {
+	fs := Analyze("watchqueue", modules.Bugs("watchqueue:pipe_wmb"))
+	if len(fs) == 0 {
+		t.Fatal("no findings for the Fig. 1 bug (reader rmb present, writer wmb removed)")
+	}
+	f := fs[0]
+	if f.Missing != "write-side barrier" {
+		t.Errorf("missing = %q, want write-side barrier", f.Missing)
+	}
+	if f.Writer != "wq_post_notification" || f.Reader != "wq_pipe_read" {
+		t.Errorf("pair = %s/%s", f.Writer, f.Reader)
+	}
+}
+
+// TestStaticAnalysisMissesRDS: the Fig. 8 bit-lock bug has no explicit
+// barrier anywhere — the canonical OFence blind spot (and the canonical
+// OZZ strength).
+func TestStaticAnalysisMissesRDS(t *testing.T) {
+	if fs := Analyze("rds", modules.Bugs("rds:clear_bit_unlock")); len(fs) != 0 {
+		t.Errorf("ofence flagged the barrier-free rds bit lock: %v", fs)
+	}
+}

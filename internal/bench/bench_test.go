@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ozz/internal/modules"
+)
+
+// TestLMBenchRowsComplete: every Table 5 workload runs on both kernel
+// configurations and produces positive timings.
+func TestLMBenchRowsComplete(t *testing.T) {
+	rows := RunLMBench(300)
+	want := []string{"null", "stat", "open/close", "File create", "File delete",
+		"ctxsw 2p/0k", "pipe", "unix", "fork", "mmap"}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want))
+	}
+	for i, r := range rows {
+		if r.Name != want[i] {
+			t.Errorf("row %d = %q, want %q", i, r.Name, want[i])
+		}
+		if r.BaseNs <= 0 || r.InstrNs <= 0 || r.Overhead <= 0 {
+			t.Errorf("row %s has non-positive measurements: %+v", r.Name, r)
+		}
+	}
+	out := FormatLMBench(rows)
+	if !strings.Contains(out, "Overhead") || !strings.Contains(out, "mmap") {
+		t.Errorf("FormatLMBench output malformed:\n%s", out)
+	}
+}
+
+// TestInstrumentationCostsSomething: the aggregate instrumented time must
+// exceed the plain time (the one ordering Table 5 must always show).
+func TestInstrumentationCostsSomething(t *testing.T) {
+	rows := RunLMBench(500)
+	var base, instr float64
+	for _, r := range rows {
+		base += r.BaseNs
+		instr += r.InstrNs
+	}
+	if instr <= base {
+		t.Fatalf("instrumented aggregate (%.0f ns) not slower than plain (%.0f ns)", instr, base)
+	}
+}
+
+// TestThroughputComparisonShape: the baseline outpaces OZZ and the slowdown
+// is reported consistently.
+func TestThroughputComparisonShape(t *testing.T) {
+	res := MeasureThroughput(150*time.Millisecond, nil, nil)
+	if res.SyzkallerTestsPerSec <= 0 || res.OzzTestsPerSec <= 0 {
+		t.Fatalf("non-positive rates: %+v", res)
+	}
+	if res.Slowdown < 1 {
+		t.Fatalf("OZZ faster than the plain baseline (%.2fx)? %+v", res.Slowdown, res)
+	}
+	if !strings.Contains(res.Format(), "tests/s") {
+		t.Errorf("Format output malformed: %q", res.Format())
+	}
+}
+
+// TestRunOFenceCounts: the §6.4 harness reproduces 8-of-11 outside the
+// patterns and every row matches its ground truth.
+func TestRunOFenceCounts(t *testing.T) {
+	rows, misses := RunOFence()
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(rows))
+	}
+	if misses != 8 {
+		t.Fatalf("misses = %d, want 8", misses)
+	}
+	for _, r := range rows {
+		if !r.GroundOK {
+			t.Errorf("bug %s: detection disagrees with ground truth", r.Bug.ID)
+		}
+	}
+	if out := FormatOFence(rows, misses); !strings.Contains(out, "8 of 11") {
+		t.Errorf("FormatOFence output malformed:\n%s", out)
+	}
+}
+
+// TestRunTable3AllFound: the Table 3 harness finds all 11 bugs within a
+// modest budget.
+func TestRunTable3AllFound(t *testing.T) {
+	rows := RunTable3(80)
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Found {
+			t.Errorf("bug %s not found", r.Bug.ID)
+		}
+	}
+}
+
+// TestRunTable4Shape: 8 of 9 reproduce; sbitmap fails without and succeeds
+// with the migration assist; the S-S/L-L split matches the paper (5+3).
+func TestRunTable4Shape(t *testing.T) {
+	rows := RunTable4(80)
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	repro, ss, ll := 0, 0, 0
+	for _, r := range rows {
+		if r.Bug.Switch == "sbitmap:freed_order" {
+			if r.Found {
+				t.Error("sbitmap reproduced without the migration assist")
+			}
+			continue
+		}
+		if !r.Found {
+			t.Errorf("bug %s not reproduced", r.Bug.ID)
+			continue
+		}
+		repro++
+		switch r.Bug.Type {
+		case "S-S":
+			ss++
+		case "L-L":
+			ll++
+		}
+	}
+	if repro != 8 {
+		t.Errorf("reproduced %d, want 8", repro)
+	}
+	if ss != 5 || ll != 3 {
+		t.Errorf("type split %d S-S / %d L-L, want 5/3", ss, ll)
+	}
+	if assist := RunSbitmapAssist(80); !assist.Found {
+		t.Error("sbitmap not reproduced with the migration assist")
+	}
+}
+
+// TestHeuristicFrontLoaded: the triggering-rank distribution is dominated
+// by rank 1 (the §4.3 claim).
+func TestHeuristicFrontLoaded(t *testing.T) {
+	rows, dist := RunHeuristic(80)
+	if len(rows) < 15 {
+		t.Fatalf("only %d bugs measured", len(rows))
+	}
+	if dist[1] <= len(rows)/2 {
+		t.Errorf("rank-1 triggers %d of %d — heuristic not front-loaded", dist[1], len(rows))
+	}
+}
+
+// TestKCSANComparisonShape reproduces the §7 table: KCSAN fires only on the
+// plain race; OZZ fires on all three.
+func TestKCSANComparisonShape(t *testing.T) {
+	rows := RunKCSANComparison(80)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !rows[0].KCSANFinds {
+		t.Error("KCSAN missed the plain data race")
+	}
+	if rows[1].KCSANFinds || rows[2].KCSANFinds {
+		t.Error("KCSAN fired on an annotated/race-free scenario")
+	}
+	for _, r := range rows {
+		if !r.OzzFinds {
+			t.Errorf("OZZ missed %s", r.Bug)
+		}
+	}
+	_ = modules.AllBugs
+}

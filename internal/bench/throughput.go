@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ozz/internal/baseline/inorder"
+	"ozz/internal/core"
+	"ozz/internal/modules"
+)
+
+// ThroughputResult is the §6.3.2 comparison: executed test programs per
+// second for the syzkaller-style baseline (plain kernel, sequential
+// execution) and for OZZ (instrumented kernel, profiling, hint calculation,
+// and the full set of hypothetical-barrier MTI runs per program). The paper
+// measures 7.33 vs 0.92 tests/s — a 7.9x drop; the reproducible quantity
+// here is the slowdown factor.
+type ThroughputResult struct {
+	SyzkallerTestsPerSec float64
+	OzzTestsPerSec       float64
+	Slowdown             float64
+	// OzzMTIsPerProgram reports how much extra work each OZZ "test"
+	// carries (hypothetical-barrier executions per program).
+	OzzMTIsPerProgram float64
+}
+
+// MeasureThroughput runs both fuzzers for (at least) the given wall-clock
+// budget per side and reports programs/second.
+func MeasureThroughput(budget time.Duration, mods []string, bugs modules.BugSet) ThroughputResult {
+	// Baseline: syzkaller-style sequential fuzzing on the plain kernel.
+	sz := inorder.NewSyzkaller(mods, bugs, 1)
+	start := time.Now()
+	for time.Since(start) < budget {
+		for i := 0; i < 8; i++ {
+			sz.Step()
+		}
+	}
+	szRate := float64(sz.Execs) / time.Since(start).Seconds()
+
+	// OZZ: the full pipeline (STI + profile + hints + MTIs).
+	f := core.NewFuzzer(core.Config{Modules: mods, Bugs: bugs, Seed: 1, UseSeeds: true})
+	start = time.Now()
+	for time.Since(start) < budget {
+		f.Step()
+	}
+	elapsed := time.Since(start).Seconds()
+	ozzRate := float64(f.Stats.Steps) / elapsed
+
+	res := ThroughputResult{
+		SyzkallerTestsPerSec: szRate,
+		OzzTestsPerSec:       ozzRate,
+	}
+	if ozzRate > 0 {
+		res.Slowdown = szRate / ozzRate
+	}
+	if f.Stats.Steps > 0 {
+		res.OzzMTIsPerProgram = float64(f.Stats.MTIs) / float64(f.Stats.Steps)
+	}
+	return res
+}
+
+// Format renders the §6.3.2 comparison.
+func (r ThroughputResult) Format() string {
+	return fmt.Sprintf(
+		"syzkaller baseline: %8.1f tests/s\n"+
+			"OZZ:                %8.1f tests/s  (%.1fx slower; %.1f hypothetical-barrier runs per program)\n",
+		r.SyzkallerTestsPerSec, r.OzzTestsPerSec, r.Slowdown, r.OzzMTIsPerProgram)
+}

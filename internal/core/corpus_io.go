@@ -1,0 +1,51 @@
+package core
+
+import (
+	"strings"
+
+	"ozz/internal/syzlang"
+)
+
+// ExportCorpus serializes the coverage corpus (one program per block,
+// blank-line separated) — syzkaller's corpus persistence, so long campaigns
+// can resume where they left off.
+func (f *Fuzzer) ExportCorpus() string {
+	var sb strings.Builder
+	for i, p := range f.corpus {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString(p.String())
+	}
+	return sb.String()
+}
+
+// ImportCorpus parses a previously exported corpus and enqueues its
+// programs ahead of random generation (like seed programs). Unparseable
+// blocks are skipped; the count of imported programs is returned.
+func (f *Fuzzer) ImportCorpus(src string) int {
+	n := 0
+	for _, block := range strings.Split(src, "\n\n") {
+		block = strings.TrimSpace(block)
+		if block == "" {
+			continue
+		}
+		p, err := f.target.Parse(block)
+		if err != nil || len(p.Calls) == 0 {
+			continue
+		}
+		f.seeds = append(f.seeds, p)
+		n++
+	}
+	return n
+}
+
+// CorpusPrograms returns copies of the current corpus programs (testing and
+// tooling).
+func (f *Fuzzer) CorpusPrograms() []*syzlang.Program {
+	out := make([]*syzlang.Program, len(f.corpus))
+	for i, p := range f.corpus {
+		out[i] = p.Clone()
+	}
+	return out
+}

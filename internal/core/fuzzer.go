@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ozz/internal/hints"
+	"ozz/internal/modules"
+	"ozz/internal/report"
+	"ozz/internal/syzlang"
+)
+
+// Config parameterizes a fuzzing campaign.
+type Config struct {
+	// Modules to load (empty = all).
+	Modules []string
+	// Bugs holds the active bug switches.
+	Bugs modules.BugSet
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// ProgLen is the target call count of generated programs.
+	ProgLen int
+	// MaxHintsPerPair bounds how many top-ranked scheduling hints are
+	// executed per call pair per step (the heuristic of §4.3 sorts them).
+	MaxHintsPerPair int
+	// MaxPairs bounds how many call pairs are tested per program.
+	MaxPairs int
+	// UseSeeds feeds the modules' seed corpus before random generation
+	// (§6.1: "we use seeds provided by Syzkaller").
+	UseSeeds bool
+	// NrCPU overrides the simulated CPU count (default 4).
+	NrCPU int
+	// HintOrder selects the order in which a pair's scheduling hints are
+	// executed — the §4.3 search-heuristic ablation knob:
+	// "heuristic" (default: most-reordered first), "reverse"
+	// (fewest-reordered first), or "random".
+	HintOrder string
+	// InterruptOnSwitch forwards to Env (the interrupt-injection
+	// ablation).
+	InterruptOnSwitch bool
+}
+
+// Stats counts fuzzer work, mirroring the paper's execution metrics.
+type Stats struct {
+	Steps     uint64 // fuzzer iterations
+	STIs      uint64 // single-threaded executions
+	MTIs      uint64 // multi-threaded (hypothetical barrier) test executions
+	Hints     uint64 // scheduling hints computed
+	Vacuous   uint64 // MTIs whose scheduling point never fired
+	NewCov    uint64 // runs that grew coverage
+	CorpusLen int
+}
+
+// Fuzzer is OZZ's fuzzing loop (Fig. 6): generate STI -> profile ->
+// calculate scheduling hints -> run MTIs -> collect OOO bug reports.
+type Fuzzer struct {
+	cfg    Config
+	env    *Env
+	target *syzlang.Target
+	rng    *rand.Rand
+
+	corpus []*syzlang.Program
+	seeds  []*syzlang.Program
+	cov    map[uint64]struct{}
+
+	// Reports collects deduplicated findings.
+	Reports *report.Set
+	// Stats counts work done.
+	Stats Stats
+}
+
+// NewFuzzer builds a fuzzer for the configuration.
+func NewFuzzer(cfg Config) *Fuzzer {
+	if cfg.ProgLen == 0 {
+		cfg.ProgLen = 4
+	}
+	if cfg.MaxHintsPerPair == 0 {
+		cfg.MaxHintsPerPair = 8
+	}
+	if cfg.MaxPairs == 0 {
+		cfg.MaxPairs = 8
+	}
+	env := NewEnv(cfg.Modules, cfg.Bugs)
+	if cfg.NrCPU != 0 {
+		env.NrCPU = cfg.NrCPU
+	}
+	env.InterruptOnSwitch = cfg.InterruptOnSwitch
+	f := &Fuzzer{
+		cfg:     cfg,
+		env:     env,
+		target:  modules.Target(cfg.Modules...),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cov:     make(map[uint64]struct{}),
+		Reports: report.NewSet(),
+	}
+	if cfg.UseSeeds {
+		for _, src := range modules.Seeds(cfg.Modules...) {
+			if p, err := f.target.Parse(src); err == nil {
+				f.seeds = append(f.seeds, p)
+			}
+		}
+	}
+	return f
+}
+
+// Env exposes the execution environment (for tools layered on the fuzzer).
+func (f *Fuzzer) Env() *Env { return f.env }
+
+// nextProgram picks the next single-threaded input: pending seeds first,
+// then mutations of the coverage corpus, then fresh generations.
+func (f *Fuzzer) nextProgram() *syzlang.Program {
+	if len(f.seeds) > 0 {
+		p := f.seeds[0]
+		f.seeds = f.seeds[1:]
+		return p
+	}
+	if len(f.corpus) > 0 && f.rng.Intn(3) != 0 {
+		base := f.corpus[f.rng.Intn(len(f.corpus))]
+		return f.target.Mutate(f.rng, base)
+	}
+	// Focus each generated program on one module (syzkaller's call
+	// priorities have the same effect): concurrent pairs then operate on
+	// shared state, which is what the hypothetical barrier test needs.
+	mods := f.target.Modules()
+	return f.target.GenerateFocused(f.rng, f.cfg.ProgLen, mods[f.rng.Intn(len(mods))])
+}
+
+// mergeCov merges run coverage into the global map and reports whether new
+// edges appeared.
+func (f *Fuzzer) mergeCov(cov map[uint64]struct{}) bool {
+	grew := false
+	for e := range cov {
+		if _, ok := f.cov[e]; !ok {
+			f.cov[e] = struct{}{}
+			grew = true
+		}
+	}
+	return grew
+}
+
+// CoverageEdges returns the number of distinct edges covered so far.
+func (f *Fuzzer) CoverageEdges() int { return len(f.cov) }
+
+// Step runs one fuzzer iteration and returns the new reports it produced.
+func (f *Fuzzer) Step() []*report.Report {
+	f.Stats.Steps++
+	p := f.nextProgram()
+
+	// Phase 1: single-threaded profiling run (§4.2).
+	sti := f.env.RunSTI(p)
+	f.Stats.STIs++
+	var found []*report.Report
+	if f.mergeCov(sti.Cov) {
+		f.Stats.NewCov++
+		f.corpus = append(f.corpus, p)
+		f.Stats.CorpusLen = len(f.corpus)
+	}
+	if sti.Crash != nil {
+		r := &report.Report{
+			Title:   sti.Crash.Title,
+			Oracle:  sti.Crash.Oracle,
+			OOO:     false,
+			Program: p.String(),
+		}
+		if f.Reports.Add(r) {
+			found = append(found, r)
+		}
+		return found // crashing input: nothing to pair
+	}
+	for _, s := range sti.Soft {
+		r := &report.Report{Title: s, Oracle: "semantic", OOO: false, Program: p.String()}
+		if f.Reports.Add(r) {
+			found = append(found, r)
+		}
+	}
+
+	// Phase 2+3: scheduling hints and multi-threaded runs (§4.3, §4.4).
+	pairs := f.pairOrder(len(p.Calls))
+	if len(pairs) > f.cfg.MaxPairs {
+		pairs = pairs[:f.cfg.MaxPairs]
+	}
+	for _, pr := range pairs {
+		i, j := pr[0], pr[1]
+		if len(sti.CallEvents[i]) == 0 || len(sti.CallEvents[j]) == 0 {
+			continue
+		}
+		hs := hints.Calculate(sti.CallEvents[i], sti.CallEvents[j])
+		f.Stats.Hints += uint64(len(hs))
+		switch f.cfg.HintOrder {
+		case "", "heuristic":
+			// Calculate already sorted by the search heuristic.
+		case "reverse":
+			for a, b := 0, len(hs)-1; a < b; a, b = a+1, b-1 {
+				hs[a], hs[b] = hs[b], hs[a]
+			}
+		case "random":
+			f.rng.Shuffle(len(hs), func(a, b int) { hs[a], hs[b] = hs[b], hs[a] })
+		}
+		if len(hs) > f.cfg.MaxHintsPerPair {
+			hs = hs[:f.cfg.MaxHintsPerPair]
+		}
+		for rank, h := range hs {
+			res := f.env.RunMTI(MTIOpts{Prog: p, I: i, J: j, Hint: h})
+			f.Stats.MTIs++
+			if !res.Fired {
+				f.Stats.Vacuous++
+			}
+			f.mergeCov(res.Cov)
+			found = append(found, f.harvest(p, i, j, h, rank, res)...)
+		}
+	}
+	return found
+}
+
+// harvest converts an MTI result into reports.
+func (f *Fuzzer) harvest(p *syzlang.Program, i, j int, h *hints.Hint, rank int, res *MTIResult) []*report.Report {
+	var found []*report.Report
+	add := func(r *report.Report) {
+		if f.Reports.Add(r) {
+			found = append(found, r)
+		}
+	}
+	if res.Crash != nil {
+		ooo := !res.PrefixCrash
+		if ooo {
+			// Triage: re-run the same schedule without reordering
+			// directives. If the crash still reproduces in order,
+			// it is a plain interleaving race, not an OOO bug.
+			rerun := f.env.RunMTI(MTIOpts{Prog: p, I: i, J: j, Hint: h, NoReorder: true})
+			if rerun.Crash != nil && rerun.Crash.Title == res.Crash.Title {
+				ooo = false
+			}
+		}
+		r := &report.Report{
+			Title:   res.Crash.Title,
+			Oracle:  res.Crash.Oracle,
+			OOO:     ooo,
+			Program: p.String(),
+		}
+		if r.OOO {
+			r.Type = h.Type()
+			r.HypBarrier = fmt.Sprintf("before %s (%s)", modules.SiteName(h.Sched), h.Test)
+			for _, s := range h.Reorder {
+				r.ReorderedSites = append(r.ReorderedSites, modules.SiteName(s))
+			}
+			r.Pair = PairName(p, i, j)
+			r.HintRank = rank + 1
+			r.Tests = int(f.Stats.MTIs)
+		}
+		add(r)
+	}
+	for _, s := range res.Soft {
+		r := &report.Report{
+			Title: s, Oracle: "semantic", OOO: true,
+			Type:       h.Type(),
+			HypBarrier: fmt.Sprintf("before %s (%s)", modules.SiteName(h.Sched), h.Test),
+			Pair:       PairName(p, i, j),
+			Program:    p.String(),
+			HintRank:   rank + 1,
+			Tests:      int(f.Stats.MTIs),
+		}
+		add(r)
+	}
+	return found
+}
+
+// pairOrder enumerates call pairs (i, j), i < j, adjacent pairs first —
+// concurrency bugs overwhelmingly involve calls operating on the same
+// just-created resource.
+func (f *Fuzzer) pairOrder(n int) [][2]int {
+	var pairs [][2]int
+	for d := 1; d < n; d++ {
+		for i := 0; i+d < n; i++ {
+			pairs = append(pairs, [2]int{i, i + d})
+		}
+	}
+	return pairs
+}
+
+// Run executes steps until the budget is exhausted, returning all new
+// reports.
+func (f *Fuzzer) Run(steps int) []*report.Report {
+	var all []*report.Report
+	for n := 0; n < steps; n++ {
+		all = append(all, f.Step()...)
+	}
+	return all
+}
+
+// RunUntil executes steps until a report with the given title appears (or
+// the budget runs out) and returns that report.
+func (f *Fuzzer) RunUntil(title string, maxSteps int) *report.Report {
+	if r := f.Reports.Get(title); r != nil {
+		return r
+	}
+	for n := 0; n < maxSteps; n++ {
+		for _, r := range f.Step() {
+			if r.Title == title {
+				return r
+			}
+		}
+	}
+	return nil
+}

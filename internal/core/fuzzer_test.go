@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"ozz/internal/modules"
+)
+
+// TestFuzzerFindsFig1Bug runs the full fuzzing loop (generation, profiling,
+// hints, MTIs) against the buggy watchqueue module and expects the Fig. 1
+// bug within a modest budget.
+func TestFuzzerFindsFig1Bug(t *testing.T) {
+	f := NewFuzzer(Config{
+		Modules:  []string{"watchqueue"},
+		Bugs:     modules.Bugs("watchqueue:pipe_wmb"),
+		Seed:     1,
+		UseSeeds: true,
+	})
+	r := f.RunUntil("BUG: unable to handle kernel NULL pointer dereference in pipe_read", 50)
+	if r == nil {
+		t.Fatalf("fuzzer did not find the Fig. 1 bug in 50 steps (stats %+v)", f.Stats)
+	}
+	if !r.OOO {
+		t.Errorf("bug not classified as OOO: %+v", r)
+	}
+	if r.Type != "S-S" {
+		t.Errorf("expected S-S reordering, got %s", r.Type)
+	}
+	if r.HypBarrier == "" {
+		t.Errorf("report lacks hypothetical barrier location")
+	}
+}
+
+// TestFuzzerCleanKernelQuiet runs the fuzzer on the fixed module and expects
+// zero OOO reports: the hypothetical barrier tests must not produce false
+// positives when the real barriers are present.
+func TestFuzzerCleanKernelQuiet(t *testing.T) {
+	f := NewFuzzer(Config{
+		Modules:  []string{"watchqueue"},
+		Bugs:     nil,
+		Seed:     2,
+		UseSeeds: true,
+	})
+	f.Run(40)
+	for _, r := range f.Reports.All() {
+		if r.OOO {
+			t.Errorf("false positive on fixed kernel: %s", r.Title)
+		}
+	}
+}
+
+// TestFuzzerWithoutSeeds checks pure generation also reaches the bug (the
+// templates alone must suffice, like syzlang descriptions do).
+func TestFuzzerWithoutSeeds(t *testing.T) {
+	f := NewFuzzer(Config{
+		Modules: []string{"watchqueue"},
+		Bugs:    modules.Bugs("watchqueue:pipe_wmb"),
+		Seed:    3,
+	})
+	r := f.RunUntil("BUG: unable to handle kernel NULL pointer dereference in pipe_read", 300)
+	if r == nil {
+		t.Fatalf("fuzzer did not find the bug from templates alone (stats %+v)", f.Stats)
+	}
+}

@@ -1,0 +1,315 @@
+// Package hints implements OZZ's scheduling-hint calculation (§4.3):
+// Algorithm 1 (hint construction via the hypothetical memory barrier test)
+// and Algorithm 2 (filter_out: dropping memory accesses that cannot
+// participate in an OOO bug because they touch no shared location).
+//
+// Given the profiled event sequences of two system calls Si and Sj, the
+// package produces scheduling hints H_ij. Each hint names (a) which call
+// reorders, (b) the test type (hypothetical store barrier vs. load
+// barrier), (c) the scheduling point — the instruction at which the
+// deterministic scheduler interleaves — and (d) the set of instruction
+// sites whose accesses OEMU reorders (delays or versions).
+package hints
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ozz/internal/trace"
+)
+
+// TestKind is the hypothetical-barrier test type.
+type TestKind uint8
+
+const (
+	// StoreBarrierTest emulates the absence of a store barrier using
+	// delayed store operations (store-store / store-load reordering,
+	// Fig. 5a).
+	StoreBarrierTest TestKind = iota
+	// LoadBarrierTest emulates the absence of a load barrier using
+	// versioned load operations (load-load reordering, Fig. 5b).
+	LoadBarrierTest
+)
+
+// String names the test.
+func (k TestKind) String() string {
+	if k == StoreBarrierTest {
+		return "hypothetical-store-barrier"
+	}
+	return "hypothetical-load-barrier"
+}
+
+// Hint is one scheduling hint (h in Algorithm 1).
+type Hint struct {
+	// Reorderer selects which call of the pair executes reordered: 0 for
+	// Si, 1 for Sj.
+	Reorderer int
+	// Test is the hypothetical-barrier test type.
+	Test TestKind
+	// Sched is the scheduling-point instruction site (h.sched): the
+	// access immediately after (store test) or at the start of (load
+	// test) the hypothetical barrier.
+	Sched trace.InstrID
+	// SchedOcc is which dynamic occurrence of Sched within the
+	// reorderer's call the breakpoint should match (1-based).
+	SchedOcc int
+	// SchedKind is the access kind of the scheduling-point access; for a
+	// store test it distinguishes store-store from store-load reordering.
+	SchedKind trace.AccessKind
+	// Reorder is h.reorder: the instruction sites whose accesses OEMU
+	// reorders — only sites of the matching kind (stores for a store
+	// test, loads for a load test) are retained, since only those can be
+	// delayed/versioned.
+	Reorder []trace.InstrID
+}
+
+// ReorderCount is the search-heuristic key: the number of accesses that
+// deviate from sequential order (§4.3 prioritizes the maximum).
+func (h *Hint) ReorderCount() int { return len(h.Reorder) }
+
+// Type returns the paper's reordering-type label: "S-S", "S-L", or "L-L".
+func (h *Hint) Type() string {
+	if h.Test == LoadBarrierTest {
+		return "L-L"
+	}
+	if h.SchedKind == trace.Load {
+		return "S-L"
+	}
+	return "S-S"
+}
+
+// String renders the hint for reports.
+func (h *Hint) String() string {
+	rs := make([]string, len(h.Reorder))
+	for i, r := range h.Reorder {
+		rs[i] = fmt.Sprintf("%d", r)
+	}
+	return fmt.Sprintf("%s call=%d sched=%d#%d reorder=[%s]",
+		h.Test, h.Reorderer, h.Sched, h.SchedOcc, strings.Join(rs, ","))
+}
+
+// FilterOut is Algorithm 2: it returns the event sequences of the two calls
+// with every memory access removed that touches no location the other call
+// also touches with at least one of the pair being a store. Barrier events
+// are always retained — they delimit groups in Algorithm 1.
+func FilterOut(si, sj []trace.Event) (fi, fj []trace.Event) {
+	shared := sharedLocations(si, sj)
+	return keepShared(si, shared), keepShared(sj, shared)
+}
+
+// sharedLocations computes Algorithm 2's shared_mem set: locations accessed
+// by both calls where at least one of the overlapping pair writes.
+func sharedLocations(si, sj []trace.Event) map[trace.Addr]bool {
+	type accInfo struct{ load, store bool }
+	idx := make(map[trace.Addr]*accInfo)
+	for _, e := range si {
+		if e.Barrier {
+			continue
+		}
+		info := idx[e.Acc.Addr]
+		if info == nil {
+			info = &accInfo{}
+			idx[e.Acc.Addr] = info
+		}
+		if e.Acc.Kind == trace.Load {
+			info.load = true
+		} else {
+			info.store = true
+		}
+	}
+	shared := make(map[trace.Addr]bool)
+	for _, e := range sj {
+		if e.Barrier {
+			continue
+		}
+		info := idx[e.Acc.Addr]
+		if info == nil {
+			continue
+		}
+		// The pair (a_i, a_j) shares the location; require a write on
+		// at least one side.
+		if info.store || e.Acc.Kind == trace.Store {
+			shared[e.Acc.Addr] = true
+		}
+	}
+	return shared
+}
+
+func keepShared(s []trace.Event, shared map[trace.Addr]bool) []trace.Event {
+	out := make([]trace.Event, 0, len(s))
+	for _, e := range s {
+		if e.Barrier || shared[e.Acc.Addr] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// group is one barrier-delimited run of accesses (g in Algorithm 1), with
+// the dynamic occurrence index of each access's instruction site.
+type groupAccess struct {
+	instr trace.InstrID
+	kind  trace.AccessKind
+	occ   int // 1-based occurrence of instr within the whole call
+}
+
+// Calculate is Algorithm 1: it computes the scheduling hints H_ij for the
+// profiled event sequences of two system calls. The result is sorted by
+// descending reorder count (the search heuristic of §4.3: prioritize hints
+// that deviate most from sequential order).
+//
+// One deliberate refinement over the paper's pseudocode: the trailing group
+// after the last barrier (or the whole sequence when a call executes no
+// barrier of the type) is also emitted. A missing barrier most often means
+// no barrier of that type exists at all on the path, and the hypothetical
+// barrier must still be placeable inside the trailing run; the store buffer
+// drains at syscall return, which acts as the closing boundary.
+func Calculate(si, sj []trace.Event) []*Hint {
+	fi, fj := FilterOut(si, sj)
+	var hints []*Hint
+	for k, events := range [][]trace.Event{fi, fj} {
+		for _, bt := range []trace.BarrierKind{trace.BarrierStore, trace.BarrierLoad} {
+			groups := groupByBarrier(events, bt)
+			for _, g := range groups {
+				hints = append(hints, hintsForGroup(k, bt, g)...)
+			}
+		}
+	}
+	// Step 4: sort by the search heuristic — most reordered accesses
+	// first; ties broken deterministically.
+	sort.SliceStable(hints, func(a, b int) bool {
+		if d := hints[a].ReorderCount() - hints[b].ReorderCount(); d != 0 {
+			return d > 0
+		}
+		if hints[a].Sched != hints[b].Sched {
+			return hints[a].Sched < hints[b].Sched
+		}
+		return hints[a].Reorderer < hints[b].Reorderer
+	})
+	return hints
+}
+
+// groupByBarrier is Step 2 of Algorithm 1: split the call's accesses into
+// groups delimited by barriers whose kind matches barrierType's ordering
+// class (store barriers close store-test groups; load barriers close
+// load-test groups; full barriers close both).
+func groupByBarrier(events []trace.Event, barrierType trace.BarrierKind) [][]groupAccess {
+	matches := func(k trace.BarrierKind) bool {
+		if barrierType == trace.BarrierStore {
+			return k.OrdersStores()
+		}
+		return k.OrdersLoads()
+	}
+	// occ counts SCHEDULING POINTS per site, not events: the store half
+	// of an RMW shares its scheduling point with the load half (NoYield),
+	// so the breakpoint occurrence for it is the load half's.
+	occ := make(map[trace.InstrID]int)
+	var groups [][]groupAccess
+	var g []groupAccess
+	for _, e := range events {
+		if e.Barrier {
+			if matches(e.Bar.Kind) {
+				if len(g) > 0 {
+					groups = append(groups, g)
+				}
+				g = nil
+			}
+			continue
+		}
+		if !e.Acc.NoYield {
+			occ[e.Acc.Instr]++
+		}
+		g = append(g, groupAccess{instr: e.Acc.Instr, kind: e.Acc.Kind, occ: occ[e.Acc.Instr]})
+	}
+	if len(g) > 0 {
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// hintsForGroup is Step 3 of Algorithm 1: slide the hypothetical barrier
+// through the group while the scheduling point stays FIXED at the group
+// boundary. For a store test the scheduling point is the group's last
+// access (the access whose commit the observer must see while earlier
+// stores are still delayed); the hypothetical barrier starts just above it
+// and moves upward, shrinking the delayed prefix. For a load test the
+// scheduling point is the group's first load (it reads the updated value,
+// Fig. 5b) and the barrier moves downward, shrinking the versioned suffix.
+func hintsForGroup(reorderer int, barrierType trace.BarrierKind, g []groupAccess) []*Hint {
+	var out []*Hint
+	emit := func(test TestKind, sched groupAccess, reorder []trace.InstrID) {
+		if len(reorder) == 0 {
+			return
+		}
+		// Skip duplicates of the previous emission (site dedup can
+		// make consecutive prefixes identical).
+		if n := len(out); n > 0 && sameSites(out[n-1].Reorder, reorder) &&
+			out[n-1].Sched == sched.instr && out[n-1].Test == test {
+			return
+		}
+		out = append(out, &Hint{
+			Reorderer: reorderer,
+			Test:      test,
+			Sched:     sched.instr,
+			SchedOcc:  sched.occ,
+			SchedKind: sched.kind,
+			Reorder:   reorder,
+		})
+	}
+	if barrierType == trace.BarrierStore {
+		if len(g) < 2 {
+			return nil
+		}
+		sched := g[len(g)-1]
+		// Hypothetical barrier positions: between g[end-1] and the
+		// scheduling access, moving upward.
+		for end := len(g) - 1; end > 0; end-- {
+			emit(StoreBarrierTest, sched, collectKinds(g[:end], trace.Store, sched.instr))
+		}
+		return out
+	}
+	if len(g) < 2 || g[0].kind != trace.Load {
+		// The access reading the "new" side of a load-load reordering
+		// must be a load; groups led by a store contribute no
+		// load-test hints (their loads are covered by neighbouring
+		// groups' iterations).
+		return nil
+	}
+	sched := g[0]
+	// Hypothetical barrier positions: just after the scheduling load,
+	// moving downward.
+	for start := 1; start < len(g); start++ {
+		emit(LoadBarrierTest, sched, collectKinds(g[start:], trace.Load, sched.instr))
+	}
+	return out
+}
+
+// sameSites reports whether two site slices are identical.
+func sameSites(a, b []trace.InstrID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectKinds returns the deduplicated instruction sites of the given kind,
+// excluding the scheduling-point site itself (a directive on it would also
+// reorder the scheduling access, defeating the test).
+func collectKinds(g []groupAccess, kind trace.AccessKind, exclude trace.InstrID) []trace.InstrID {
+	seen := make(map[trace.InstrID]bool)
+	var out []trace.InstrID
+	for _, a := range g {
+		if a.kind != kind || a.instr == exclude || seen[a.instr] {
+			continue
+		}
+		seen[a.instr] = true
+		out = append(out, a.instr)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package kernel
+
+import (
+	"ozz/internal/trace"
+)
+
+// Seqlocks (seqcount readers/writers), the kernel's torn-read guard for
+// small multi-word data (jiffies, timekeeping, ...). The barrier content is
+// load-bearing: the writer brackets its updates with smp_wmb (odd/even
+// sequence numbers), and the reader needs an smp_rmb BEFORE re-reading the
+// sequence — without it the retry check can be satisfied by a stale
+// sequence value while the data loads observed a torn intermediate state
+// (the seqtime module's bug).
+
+// WriteSeqBegin enters the write side: the sequence becomes odd and the
+// subsequent data stores are ordered after it.
+func (t *Task) WriteSeqBegin(i trace.InstrID, seq trace.Addr) {
+	s := t.load(i, seq, trace.Plain)
+	t.store(i, seq, s+1, trace.Once)
+	t.Wmb(i)
+}
+
+// WriteSeqEnd leaves the write side: the data stores are ordered before the
+// sequence becomes even again.
+func (t *Task) WriteSeqEnd(i trace.InstrID, seq trace.Addr) {
+	t.Wmb(i)
+	s := t.load(i, seq, trace.Plain)
+	t.store(i, seq, s+1, trace.Once)
+}
+
+// ReadSeqBegin samples the sequence, spinning past in-flight writers (odd
+// values), and orders the subsequent data loads after the sample.
+func (t *Task) ReadSeqBegin(i trace.InstrID, seq trace.Addr) uint64 {
+	for {
+		s := t.load(i, seq, trace.Once)
+		if s&1 == 0 {
+			t.Rmb(i)
+			return s
+		}
+		if t.sch != nil && t.sch.Peers() > 0 {
+			t.sch.BlockSpin()
+			t.sch.ClearSpin()
+		} else {
+			// No writer can be mid-update (single task): the odd
+			// value is leaked state; treat as even to make progress.
+			t.Rmb(i)
+			return s
+		}
+	}
+}
+
+// ReadSeqRetry re-checks the sequence after the data loads; true means the
+// reader raced a writer and must retry. The rmb parameter models the bug
+// switch: the CORRECT implementation orders the data loads before the
+// re-read (rmb true); without it the re-read may observe a stale sequence
+// and accept torn data.
+func (t *Task) ReadSeqRetry(i trace.InstrID, seq trace.Addr, start uint64, rmb bool) bool {
+	if rmb {
+		t.Rmb(i)
+	}
+	return t.load(i, seq, trace.Plain) != start
+}

@@ -1,0 +1,232 @@
+// Package lkmm validates OEMU's compliance with the Linux Kernel Memory
+// Model (§3.3, appendix §10.1) through litmus tests. A litmus test is a
+// small multi-threaded program over a handful of shared locations; the
+// engine exhaustively enumerates every thread interleaving AND every OEMU
+// directive assignment (which stores to delay, which loads to version), and
+// collects the set of observable outcomes (final register values).
+//
+// Compliance then means: outcomes the LKMM forbids are unreachable no
+// matter the directives, and — the emulation-capability direction — weak
+// outcomes the LKMM allows ARE reachable under some directive assignment
+// (this is what a simple in-order executor cannot produce).
+package lkmm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ozz/internal/kmem"
+	"ozz/internal/oemu"
+	"ozz/internal/trace"
+)
+
+// OpKind is one litmus operation kind.
+type OpKind uint8
+
+const (
+	// OpStore stores Val to Loc.
+	OpStore OpKind = iota
+	// OpLoad loads Loc into register Reg.
+	OpLoad
+	// OpBarrier executes barrier Bar.
+	OpBarrier
+)
+
+// Op is one operation of a litmus thread.
+type Op struct {
+	Kind   OpKind
+	Loc    int // shared-location index
+	Val    uint64
+	Reg    int // destination register index (loads)
+	Atomic trace.Atomicity
+	Bar    trace.BarrierKind
+}
+
+// Convenience constructors.
+
+// W is a plain store of v to location loc.
+func W(loc int, v uint64) Op { return Op{Kind: OpStore, Loc: loc, Val: v} }
+
+// WOnce is WRITE_ONCE.
+func WOnce(loc int, v uint64) Op {
+	return Op{Kind: OpStore, Loc: loc, Val: v, Atomic: trace.Once}
+}
+
+// WRel is smp_store_release.
+func WRel(loc int, v uint64) Op {
+	return Op{Kind: OpStore, Loc: loc, Val: v, Atomic: trace.AtomicRelease}
+}
+
+// R is a plain load of loc into register reg.
+func R(loc, reg int) Op { return Op{Kind: OpLoad, Loc: loc, Reg: reg} }
+
+// ROnce is READ_ONCE.
+func ROnce(loc, reg int) Op {
+	return Op{Kind: OpLoad, Loc: loc, Reg: reg, Atomic: trace.Once}
+}
+
+// RAcq is smp_load_acquire.
+func RAcq(loc, reg int) Op {
+	return Op{Kind: OpLoad, Loc: loc, Reg: reg, Atomic: trace.AtomicAcquire}
+}
+
+// Mb, Rmb, Wmb are the explicit barriers.
+func Mb() Op  { return Op{Kind: OpBarrier, Bar: trace.BarrierFull} }
+func Rmb() Op { return Op{Kind: OpBarrier, Bar: trace.BarrierLoad} }
+func Wmb() Op { return Op{Kind: OpBarrier, Bar: trace.BarrierStore} }
+
+// Test is a litmus test.
+type Test struct {
+	Name    string
+	Threads [][]Op
+	// NumLocs/NumRegs size the shared state and register file.
+	NumLocs, NumRegs int
+}
+
+// Outcome is a final register assignment, rendered canonically as
+// "r0=x;r1=y;...".
+type Outcome string
+
+// MakeOutcome renders register values canonically.
+func MakeOutcome(regs []uint64) Outcome {
+	parts := make([]string, len(regs))
+	for i, v := range regs {
+		parts[i] = fmt.Sprintf("r%d=%d", i, v)
+	}
+	return Outcome(strings.Join(parts, ";"))
+}
+
+// Result is the set of observable outcomes of a test.
+type Result struct {
+	Outcomes map[Outcome]bool
+	// Runs counts executed (interleaving, directive) combinations.
+	Runs int
+}
+
+// Has reports whether the outcome was observed.
+func (r *Result) Has(o Outcome) bool { return r.Outcomes[o] }
+
+// Sorted lists outcomes canonically.
+func (r *Result) Sorted() []string {
+	var out []string
+	for o := range r.Outcomes {
+		out = append(out, string(o))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// instrID assigns a unique site to thread t's op i.
+func instrID(t, i int) trace.InstrID { return trace.InstrID(t*100 + i + 1) }
+
+// Run enumerates all interleavings x directive assignments and returns the
+// observable outcomes. The search is exhaustive (exponential in program
+// size — litmus tests are tiny by design).
+func Run(test *Test) *Result {
+	res := &Result{Outcomes: make(map[Outcome]bool)}
+	// Enumerate directive assignments: a bit per delayable store and per
+	// versionable load.
+	type dirSite struct {
+		instr trace.InstrID
+		store bool
+	}
+	var sites []dirSite
+	for ti, th := range test.Threads {
+		for oi, op := range th {
+			switch op.Kind {
+			case OpStore:
+				sites = append(sites, dirSite{instrID(ti, oi), true})
+			case OpLoad:
+				sites = append(sites, dirSite{instrID(ti, oi), false})
+			}
+		}
+	}
+	if len(sites) > 12 {
+		panic("litmus test too large for exhaustive directive enumeration")
+	}
+	for mask := 0; mask < 1<<len(sites); mask++ {
+		enumerateInterleavings(test, func(order []int) {
+			regs := execute(test, order, func(d *oemu.Directives) {
+				for bi, s := range sites {
+					if mask&(1<<bi) == 0 {
+						continue
+					}
+					if s.store {
+						d.DelayStoreAt(s.instr)
+					} else {
+						d.ReadOldValueAt(s.instr)
+					}
+				}
+			})
+			res.Outcomes[MakeOutcome(regs)] = true
+			res.Runs++
+		})
+	}
+	return res
+}
+
+// enumerateInterleavings generates every merge of the threads' op
+// sequences; order entries are thread indexes.
+func enumerateInterleavings(test *Test, visit func(order []int)) {
+	total := 0
+	for _, th := range test.Threads {
+		total += len(th)
+	}
+	counts := make([]int, len(test.Threads))
+	order := make([]int, 0, total)
+	var rec func()
+	rec = func() {
+		if len(order) == total {
+			visit(order)
+			return
+		}
+		for ti := range test.Threads {
+			if counts[ti] < len(test.Threads[ti]) {
+				counts[ti]++
+				order = append(order, ti)
+				rec()
+				order = order[:len(order)-1]
+				counts[ti]--
+			}
+		}
+	}
+	rec()
+	_ = counts
+}
+
+// execute runs one interleaving with the given directives installed on
+// every thread and returns the final registers. Store buffers drain at
+// thread exit (like a syscall return); registers are read after all
+// threads finish.
+func execute(test *Test, order []int, install func(*oemu.Directives)) []uint64 {
+	mem := kmem.New()
+	mem.Sanitize = false
+	em := oemu.New(mem)
+	threads := make([]*oemu.Thread, len(test.Threads))
+	for i := range threads {
+		threads[i] = em.NewThread(i)
+		install(&threads[i].Dir)
+	}
+	regs := make([]uint64, test.NumRegs)
+	idx := make([]int, len(test.Threads))
+	loc := func(l int) trace.Addr { return trace.Addr(0x1000_0000 + l*8) }
+	for _, ti := range order {
+		op := test.Threads[ti][idx[ti]]
+		site := instrID(ti, idx[ti])
+		idx[ti]++
+		th := threads[ti]
+		switch op.Kind {
+		case OpStore:
+			th.Store(site, loc(op.Loc), op.Val, op.Atomic)
+		case OpLoad:
+			regs[op.Reg] = th.Load(site, loc(op.Loc), op.Atomic)
+		case OpBarrier:
+			th.Barrier(op.Bar)
+		}
+	}
+	for _, th := range threads {
+		th.Flush()
+	}
+	return regs
+}

@@ -1,0 +1,34 @@
+package modules
+
+import "ozz/internal/trace"
+
+// errno values returned by syscall implementations (negated, like the
+// kernel ABI).
+const (
+	EOK    uint64 = 0
+	EBADF  uint64 = ^uint64(8) + 1  // -9
+	EAGAIN uint64 = ^uint64(10) + 1 // -11
+	EINVAL uint64 = ^uint64(21) + 1 // -22
+	EBUSY  uint64 = ^uint64(15) + 1 // -16
+)
+
+// resTable maps small resource handles (what syscalls return and accept,
+// like file descriptors) to object base addresses, so that fuzzer-mutated
+// handle arguments fail with EBADF instead of wild dereferences.
+type resTable struct {
+	objs []trace.Addr
+}
+
+// add registers an object and returns its handle (1-based; 0 is invalid).
+func (r *resTable) add(a trace.Addr) uint64 {
+	r.objs = append(r.objs, a)
+	return uint64(len(r.objs))
+}
+
+// get resolves a handle.
+func (r *resTable) get(h uint64) (trace.Addr, bool) {
+	if h == 0 || h > uint64(len(r.objs)) {
+		return 0, false
+	}
+	return r.objs[h-1], true
+}

@@ -1,0 +1,380 @@
+// Package oemu implements OEMU, the in-vivo out-of-order execution emulator
+// of the paper (§3). It reorders memory accesses of the simulated kernel
+// explicitly and deterministically using two mechanisms:
+//
+//   - Delayed store operations (§3.1): a per-thread virtual store buffer
+//     holds the value of a store back from memory until a store/full/release
+//     barrier or an interrupt, emulating store-store and store-load
+//     reordering. Loads by the same thread are forwarded from the buffer.
+//
+//   - Versioned load operations (§3.2): a global store history records how
+//     each location's value changed over time; a per-thread versioning
+//     window (t_rmb, t_cur] bounds how stale a value a versioned load may
+//     observe, emulating load-load reordering.
+//
+// A userspace program (the fuzzer) selects which instruction sites reorder
+// through the two directives of Table 2: DelayStoreAt and ReadOldValueAt.
+// Absent directives, OEMU executes in order. Reordering complies with the
+// Linux Kernel Memory Model's seven preserved-program-order cases (§3.3,
+// §10.1); see the package tests and internal/lkmm for the compliance suite.
+package oemu
+
+import (
+	"fmt"
+
+	"ozz/internal/kmem"
+	"ozz/internal/trace"
+)
+
+// historyCapPerAddr bounds the per-location store history. Entries beyond
+// the cap are evicted oldest-first; evicting limits how far back a versioned
+// load can reach, which only makes emulation more conservative.
+const historyCapPerAddr = 128
+
+// Directives is the per-thread reordering plan, set through the Table 2
+// interfaces before a test run. Instruction sites appearing in DelayStore
+// have their store operations delayed in the virtual store buffer; sites in
+// ReadOld have their load operations read an old value from the store
+// history (subject to the versioning window).
+type Directives struct {
+	DelayStore map[trace.InstrID]bool
+	ReadOld    map[trace.InstrID]bool
+}
+
+// NewDirectives returns an empty plan (in-order execution).
+func NewDirectives() Directives {
+	return Directives{
+		DelayStore: make(map[trace.InstrID]bool),
+		ReadOld:    make(map[trace.InstrID]bool),
+	}
+}
+
+// DelayStoreAt requests that stores executed by instruction site i be
+// delayed (Table 2: delay_store_at).
+func (d *Directives) DelayStoreAt(i trace.InstrID) { d.DelayStore[i] = true }
+
+// ReadOldValueAt requests that loads executed by instruction site i read an
+// old value (Table 2: read_old_value_at).
+func (d *Directives) ReadOldValueAt(i trace.InstrID) { d.ReadOld[i] = true }
+
+// Empty reports whether the plan requests no reordering.
+func (d *Directives) Empty() bool { return len(d.DelayStore) == 0 && len(d.ReadOld) == 0 }
+
+// histEntry records one committed store: the location, the value it
+// overwrote, the value it wrote, the commit timestamp, and the committing
+// thread.
+type histEntry struct {
+	old, new uint64
+	time     uint64
+	thread   int
+}
+
+// pendingStore is one in-flight entry of a virtual store buffer.
+type pendingStore struct {
+	addr  trace.Addr
+	val   uint64
+	instr trace.InstrID
+}
+
+// ReorderKind classifies an observed reordering for reports.
+type ReorderKind uint8
+
+const (
+	// ReorderDelayedStore: a store was held in the virtual store buffer.
+	ReorderDelayedStore ReorderKind = iota
+	// ReorderVersionedLoad: a load read an old value from the history.
+	ReorderVersionedLoad
+	// ReorderForwarded: a load was forwarded from the local store buffer
+	// (not a reordering per se, but part of the emulation trace).
+	ReorderForwarded
+)
+
+// String names the reorder kind.
+func (k ReorderKind) String() string {
+	switch k {
+	case ReorderDelayedStore:
+		return "delayed-store"
+	case ReorderVersionedLoad:
+		return "versioned-load"
+	case ReorderForwarded:
+		return "store-forward"
+	}
+	return fmt.Sprintf("reorder(%d)", uint8(k))
+}
+
+// ReorderRecord logs one reordering event that actually happened at runtime.
+// The fuzzer attaches these to bug reports so developers can see the exact
+// out-of-order execution that triggered the bug (§4.4).
+type ReorderRecord struct {
+	Kind  ReorderKind
+	Instr trace.InstrID
+	Addr  trace.Addr
+	Val   uint64 // the stale/held value involved
+}
+
+// String renders the record for reports.
+func (r ReorderRecord) String() string {
+	return fmt.Sprintf("%s instr=%d addr=0x%x val=0x%x", r.Kind, r.Instr, uint64(r.Addr), r.Val)
+}
+
+// Thread is the per-thread OEMU state: the virtual store buffer, the
+// versioning window, the directives, and the reorder log.
+type Thread struct {
+	ID  int
+	Dir Directives
+
+	sb      []pendingStore
+	sbIndex map[trace.Addr]int // addr -> index into sb
+
+	// tRmb is the start of the versioning window: the logical time of the
+	// most recent load/full/acquire barrier (or annotated load) executed
+	// by this thread. Versioned loads may only observe values the
+	// location held after tRmb.
+	tRmb uint64
+
+	// lastCommit records, per address, the time of this thread's own most
+	// recent committed store. A versioned load must never observe a value
+	// older than the thread's own committed store to the same location
+	// (per-location coherence; the store-buffer priority rule of §3.2
+	// generalized to already-committed stores).
+	lastCommit map[trace.Addr]uint64
+
+	// seen records, per address, the version time of the value this
+	// thread most recently READ from the location. Per-location read-read
+	// coherence (CoRR — preserved even on Alpha) forbids a later load of
+	// the same location from observing an older version, so versioned
+	// loads floor their window at it.
+	seen map[trace.Addr]uint64
+
+	// Log accumulates reorderings that actually occurred.
+	Log []ReorderRecord
+
+	em *OEMU
+}
+
+// OEMU is the emulator instance shared by all threads of one simulated
+// kernel: the global logical clock, the store history, and the backing
+// memory. It is driven by exactly one running thread at a time (the
+// deterministic scheduler guarantees this), so it needs no locking.
+type OEMU struct {
+	Mem   *kmem.Memory
+	clock uint64
+
+	history map[trace.Addr][]histEntry
+
+	threads []*Thread
+}
+
+// New returns an emulator over the given memory.
+func New(mem *kmem.Memory) *OEMU {
+	return &OEMU{
+		Mem:     mem,
+		history: make(map[trace.Addr][]histEntry),
+	}
+}
+
+// NewThread registers a new emulated hardware thread.
+func (em *OEMU) NewThread(id int) *Thread {
+	t := &Thread{
+		ID:         id,
+		Dir:        NewDirectives(),
+		sbIndex:    make(map[trace.Addr]int),
+		lastCommit: make(map[trace.Addr]uint64),
+		seen:       make(map[trace.Addr]uint64),
+		em:         em,
+	}
+	em.threads = append(em.threads, t)
+	return t
+}
+
+// Now returns the current logical time. The clock advances on every commit.
+func (em *OEMU) Now() uint64 { return em.clock }
+
+// commit writes a value to memory, advances the clock, and records the
+// transition in the store history.
+func (em *OEMU) commit(t *Thread, addr trace.Addr, val uint64) {
+	old := em.Mem.Read(addr)
+	em.Mem.Write(addr, val)
+	em.clock++
+	h := em.history[addr]
+	h = append(h, histEntry{old: old, new: val, time: em.clock, thread: t.ID})
+	if len(h) > historyCapPerAddr {
+		h = h[len(h)-historyCapPerAddr:]
+	}
+	em.history[addr] = h
+	t.lastCommit[addr] = em.clock
+}
+
+// oldValue returns the value location addr held at the start of the window
+// (after, i.e. strictly newer than, logical time floor) together with that
+// value's version time (the commit time of the store that wrote it, 0 for
+// the initial value), or ok=false when no store to addr committed after
+// floor — in which case the current memory value is already the
+// window-start value.
+func (em *OEMU) oldValue(addr trace.Addr, floor uint64) (val, versionTime uint64, ok bool) {
+	var prevTime uint64
+	for _, e := range em.history[addr] {
+		if e.time > floor {
+			return e.old, prevTime, true
+		}
+		prevTime = e.time
+	}
+	return 0, 0, false
+}
+
+// latestTime returns the commit time of the newest store to addr (0 if the
+// location was never stored to through OEMU).
+func (em *OEMU) latestTime(addr trace.Addr) uint64 {
+	h := em.history[addr]
+	if len(h) == 0 {
+		return 0
+	}
+	return h[len(h)-1].time
+}
+
+// Store executes a store operation at instruction site instr. Release
+// semantics flush the store buffer first (LKMM Case 5). If the site is
+// directed to delay — and no barrier forbids it — the value is held in the
+// virtual store buffer instead of being committed (§3.1).
+func (t *Thread) Store(instr trace.InstrID, addr trace.Addr, val uint64, atom trace.Atomicity) {
+	em := t.em
+	if atom == trace.AtomicRelease {
+		// smp_store_release / clear_bit_unlock: all precedent accesses
+		// complete before this store (flush acts as smp_wmb; precedent
+		// loads already executed in place as OEMU never delays loads).
+		t.Flush()
+	}
+	if idx, ok := t.sbIndex[addr]; ok {
+		// A delayed store to this location is already in flight.
+		// Coalesce: overwrite its value in place, preserving
+		// per-location program order (coherence). The intermediate
+		// value never becomes visible, which a real store buffer also
+		// permits.
+		t.sb[idx].val = val
+		t.sb[idx].instr = instr
+		return
+	}
+	if t.Dir.DelayStore[instr] && atom != trace.AtomicRelease {
+		t.sb = append(t.sb, pendingStore{addr: addr, val: val, instr: instr})
+		t.sbIndex[addr] = len(t.sb) - 1
+		t.Log = append(t.Log, ReorderRecord{Kind: ReorderDelayedStore, Instr: instr, Addr: addr, Val: val})
+		return
+	}
+	em.commit(t, addr, val)
+}
+
+// Load executes a load operation at instruction site instr and returns the
+// value observed. Resolution order (§3.1/§3.2): local store buffer
+// (store-to-load forwarding) first, then — if directed — an old value from
+// the store history bounded by the versioning window, then memory.
+//
+// After the load, annotated loads (READ_ONCE, atomics, acquire) advance the
+// versioning window: the LKMM treats them as a load barrier for subsequent
+// loads (Cases 4 and 6; §3.2 "Dependencies from a load operation").
+func (t *Thread) Load(instr trace.InstrID, addr trace.Addr, atom trace.Atomicity) uint64 {
+	em := t.em
+	var val uint64
+	switch {
+	case t.forwarded(addr):
+		val = t.sb[t.sbIndex[addr]].val
+		t.Log = append(t.Log, ReorderRecord{Kind: ReorderForwarded, Instr: instr, Addr: addr, Val: val})
+	case t.Dir.ReadOld[instr]:
+		// The versioning window floor: the last load barrier, but never
+		// older than the thread's own committed store to the location,
+		// nor than the version it has already observed there (CoRR:
+		// per-location read-read coherence holds on every architecture,
+		// Alpha included).
+		floor := t.tRmb
+		if lc := t.lastCommit[addr]; lc > floor {
+			floor = lc
+		}
+		if sv := t.seen[addr]; sv > floor {
+			floor = sv
+		}
+		if old, vt, ok := em.oldValue(addr, floor); ok {
+			val = old
+			t.seen[addr] = vt
+			t.Log = append(t.Log, ReorderRecord{Kind: ReorderVersionedLoad, Instr: instr, Addr: addr, Val: val})
+		} else {
+			val = em.Mem.Read(addr)
+			t.seen[addr] = em.latestTime(addr)
+		}
+	default:
+		val = em.Mem.Read(addr)
+		t.seen[addr] = em.latestTime(addr)
+	}
+	if atom != trace.Plain {
+		// READ_ONCE / atomic / acquire load: subsequent loads must not
+		// observe values older than this point.
+		t.tRmb = em.clock
+	}
+	return val
+}
+
+// Barrier executes a memory barrier (Table 1). Store-ordering barriers flush
+// the virtual store buffer (no store may be delayed across them); load-
+// ordering barriers advance the versioning window (no later load may read a
+// value older than the barrier point).
+func (t *Thread) Barrier(kind trace.BarrierKind) {
+	if kind.OrdersStores() {
+		t.Flush()
+	}
+	if kind.OrdersLoads() {
+		t.tRmb = t.em.clock
+	}
+}
+
+// Interrupt models an interrupt on the processor running this thread, which
+// drains the virtual store buffer (§3.1).
+func (t *Thread) Interrupt() { t.Flush() }
+
+// Flush commits all delayed stores, in their original program order.
+func (t *Thread) Flush() {
+	for _, p := range t.sb {
+		t.em.commit(t, p.addr, p.val)
+	}
+	t.sb = t.sb[:0]
+	for a := range t.sbIndex {
+		delete(t.sbIndex, a)
+	}
+}
+
+// PendingStores returns the number of in-flight delayed stores.
+func (t *Thread) PendingStores() int { return len(t.sb) }
+
+// PendingAt reports whether a delayed store to addr is in flight and, if so,
+// its held value.
+func (t *Thread) PendingAt(addr trace.Addr) (uint64, bool) {
+	if idx, ok := t.sbIndex[addr]; ok {
+		return t.sb[idx].val, true
+	}
+	return 0, false
+}
+
+// WindowStart returns the current versioning-window start t_rmb.
+func (t *Thread) WindowStart() uint64 { return t.tRmb }
+
+func (t *Thread) forwarded(addr trace.Addr) bool {
+	_, ok := t.sbIndex[addr]
+	return ok
+}
+
+// ResetDirectives clears the reordering plan and the log, keeping buffered
+// state (used between system calls of one input).
+func (t *Thread) ResetDirectives() {
+	t.Dir = NewDirectives()
+	t.Log = t.Log[:0]
+}
+
+// ReorderedCount returns how many genuine reorderings (delayed stores or
+// versioned loads, excluding forwards) occurred — the fuzzer uses this to
+// confirm a scheduling hint actually fired.
+func (t *Thread) ReorderedCount() int {
+	n := 0
+	for _, r := range t.Log {
+		if r.Kind != ReorderForwarded {
+			n++
+		}
+	}
+	return n
+}

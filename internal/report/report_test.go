@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSetDedup(t *testing.T) {
+	s := NewSet()
+	a := &Report{Title: "crash A", Tests: 1}
+	b := &Report{Title: "crash A", Tests: 99} // duplicate title
+	c := &Report{Title: "crash B"}
+	if !s.Add(a) || s.Add(b) || !s.Add(c) {
+		t.Fatal("dedup broken")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// The FIRST report wins (it carries the smallest tests-to-trigger).
+	if got := s.Get("crash A"); got == nil || got.Tests != 1 {
+		t.Fatalf("Get returned %+v", got)
+	}
+	if all := s.All(); len(all) != 2 || all[0].Title != "crash A" {
+		t.Fatalf("All = %v", all)
+	}
+	if titles := s.Titles(); titles[0] != "crash A" || titles[1] != "crash B" {
+		t.Fatalf("Titles = %v", titles)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		Title:          "BUG: unable to handle kernel NULL pointer dereference in pipe_read",
+		Oracle:         "null-deref",
+		OOO:            true,
+		Type:           "S-S",
+		HypBarrier:     "before post_one_notification:head+=1",
+		ReorderedSites: []string{"post_one_notification:buf->ops=&ops"},
+		Program:        "r0 = wq_create()\nwq_post_notification(r0, 0x4)\n",
+		Pair:           [2]string{"call 1: wq_post_notification", "call 2: wq_pipe_read"},
+		HintRank:       1,
+		Tests:          23,
+	}
+	out := r.String()
+	for _, want := range []string{
+		"pipe_read", "S-S", "missing at before post_one_notification",
+		"buf->ops", "hint rank: 1, tests: 23", "wq_create",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report rendering lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNonOOORendering(t *testing.T) {
+	r := &Report{Title: "KASAN: use-after-free Read in vmci_qp_wait", Oracle: "kasan"}
+	out := r.String()
+	if strings.Contains(out, "barrier:") || strings.Contains(out, "reorder:") {
+		t.Errorf("non-OOO report renders reordering fields:\n%s", out)
+	}
+}

@@ -1,0 +1,327 @@
+// Package sched implements the deterministic cooperative scheduler OZZ uses
+// to control thread interleaving (§4.4.1, appendix §10.3). It plays the role
+// of the paper's hypervisor-level custom scheduler: exactly one simulated
+// vCPU runs at a time, scheduling points are instruction sites, and a
+// breakpoint-style policy switches execution between tasks at a named
+// instruction. Crucially — and unlike a real breakpoint — suspending a task
+// does NOT flush its virtual store buffer, which is what lets OEMU keep
+// memory-access reordering observable across an interleaving (§2.3).
+//
+// The scheduler is token-based: every task runs in its own goroutine but
+// blocks until handed the run token, so all simulated-kernel state is only
+// ever touched by one goroutine at a time. Given the same policy and task
+// bodies, execution is fully deterministic.
+package sched
+
+import (
+	"fmt"
+
+	"ozz/internal/trace"
+)
+
+// spinLimit bounds how many times a blocked (spin-waiting) task is resumed
+// without acquiring what it waits for before the session declares a
+// deadlock/livelock.
+const spinLimit = 2000
+
+// State is a task's scheduling state.
+type State uint8
+
+const (
+	// Runnable tasks can be scheduled.
+	Runnable State = iota
+	// Blocked tasks are spin-waiting on a resource; they are scheduled
+	// only when no non-blocked task is runnable.
+	Blocked
+	// Done tasks have finished (returned or unwound after an abort).
+	Done
+)
+
+// Deadlock is the error value a session aborts with when every live task is
+// blocked, or a task exceeds the spin limit.
+type Deadlock struct {
+	Reason string
+}
+
+// Error implements error.
+func (d *Deadlock) Error() string { return "deadlock: " + d.Reason }
+
+// abortUnwind is panicked inside suspended tasks to unwind their goroutines
+// once the session is aborting. It never escapes the package.
+type abortUnwind struct{}
+
+// Task is the scheduler-side handle of one simulated kernel task. Task
+// bodies receive it and must call Yield at every instrumented operation.
+type Task struct {
+	ID  int
+	CPU int
+
+	state   State
+	spin    int
+	resume  chan struct{}
+	session *Session
+
+	// armed implements "switch after instruction X": when a breakpoint
+	// with PosAfter matches, the policy arms the task and the switch
+	// happens at its next yield.
+	armedSwitch int // target task id, or -1
+}
+
+// Session runs one set of tasks to completion under a policy. A session is
+// single-use; simulated-kernel state (memory, OEMU threads) persists outside
+// it, so an executor runs multiple sessions in sequence over the same
+// kernel (e.g. sequential prefix calls, then the concurrent pair).
+type Session struct {
+	policy   Policy
+	tasks    []*Task
+	byID     map[int]*Task
+	bodies   map[int]func(*Task)
+	order    []int // spawn order; default scheduling preference
+	driverCh chan struct{}
+
+	cur      *Task
+	aborting bool
+	// Aborted carries the recovered panic value (e.g. a *kernel.Crash)
+	// that aborted the session, if any.
+	Aborted any
+
+	started bool
+	yields  uint64
+}
+
+// Policy decides where interleavings happen.
+type Policy interface {
+	// First returns the id of the task to run first, given spawn order.
+	First(order []int) int
+	// OnYield is consulted at every scheduling point, before the
+	// operation at instr executes. Returning (id, true) switches to task
+	// id (if it is live); (0, false) continues the current task.
+	OnYield(cur *Task, instr trace.InstrID) (int, bool)
+}
+
+// NewSession creates a session with the given policy.
+func NewSession(policy Policy) *Session {
+	return &Session{
+		policy:   policy,
+		byID:     make(map[int]*Task),
+		bodies:   make(map[int]func(*Task)),
+		driverCh: make(chan struct{}),
+	}
+}
+
+// Spawn registers a task. Spawning is allowed both before Run and from a
+// running task (fork); in the latter case the new task becomes runnable and
+// is scheduled per policy.
+func (s *Session) Spawn(id, cpu int, body func(*Task)) *Task {
+	if _, dup := s.byID[id]; dup {
+		panic(fmt.Sprintf("sched: duplicate task id %d", id))
+	}
+	t := &Task{ID: id, CPU: cpu, resume: make(chan struct{}), session: s, armedSwitch: -1}
+	s.tasks = append(s.tasks, t)
+	s.byID[id] = t
+	s.bodies[id] = body
+	s.order = append(s.order, id)
+	if s.started {
+		s.launch(t)
+	}
+	return t
+}
+
+func (s *Session) launch(t *Task) {
+	body := s.bodies[t.ID]
+	go func() {
+		<-t.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, unwind := r.(abortUnwind); !unwind {
+					// First real failure aborts the session.
+					if s.Aborted == nil {
+						s.Aborted = r
+					}
+					s.aborting = true
+				}
+			}
+			t.state = Done
+			s.next(t)
+		}()
+		if s.aborting {
+			panic(abortUnwind{})
+		}
+		body(t)
+	}()
+}
+
+// Run executes all spawned tasks to completion and returns the panic value
+// that aborted the session, or nil on clean completion.
+func (s *Session) Run() any {
+	if s.started {
+		panic("sched: session reused")
+	}
+	s.started = true
+	if len(s.tasks) == 0 {
+		return nil
+	}
+	for _, t := range s.tasks {
+		s.launch(t)
+	}
+	first := s.byID[s.policy.First(s.order)]
+	s.cur = first
+	first.resume <- struct{}{}
+	<-s.driverCh
+	return s.Aborted
+}
+
+// Yields returns the number of scheduling points hit (diagnostics).
+func (s *Session) Yields() uint64 { return s.yields }
+
+// handoff transfers the run token from the calling task to target and blocks
+// the caller until rescheduled (or unwinds it if the session aborted).
+func (s *Session) handoff(from, to *Task) {
+	s.cur = to
+	to.resume <- struct{}{}
+	<-from.resume
+	if s.aborting {
+		panic(abortUnwind{})
+	}
+}
+
+// next is called when a task finishes: the token passes to the next live
+// task, or back to the driver when none remain.
+func (s *Session) next(done *Task) {
+	if t := s.pick(); t != nil {
+		s.cur = t
+		t.resume <- struct{}{}
+		return
+	}
+	s.driverCh <- struct{}{}
+}
+
+// pick returns the next task to resume: the first live non-blocked task in
+// spawn order, else the first blocked one (spin retry), else nil.
+func (s *Session) pick() *Task {
+	var blocked *Task
+	for _, id := range s.order {
+		t := s.byID[id]
+		switch t.state {
+		case Runnable:
+			return t
+		case Blocked:
+			if blocked == nil {
+				blocked = t
+			}
+		}
+	}
+	return blocked
+}
+
+// live counts non-done tasks.
+func (s *Session) live() int {
+	n := 0
+	for _, t := range s.tasks {
+		if t.state != Done {
+			n++
+		}
+	}
+	return n
+}
+
+// Yield is the scheduling point, invoked before every instrumented
+// operation. The policy may switch execution to another task here; a
+// PosAfter breakpoint that matched at the previous yield also fires here.
+func (t *Task) Yield(instr trace.InstrID) {
+	s := t.session
+	s.yields++
+	if s.aborting {
+		panic(abortUnwind{})
+	}
+	// A pending "switch after previous instruction" fires first.
+	if t.armedSwitch >= 0 {
+		target := s.byID[t.armedSwitch]
+		t.armedSwitch = -1
+		if target != nil && target.state != Done && target != t {
+			s.handoff(t, target)
+			return
+		}
+	}
+	id, doSwitch := s.policy.OnYield(t, instr)
+	if !doSwitch {
+		return
+	}
+	target := s.byID[id]
+	if target == nil || target.state == Done || target == t {
+		return
+	}
+	s.handoff(t, target)
+}
+
+// ArmSwitchAfter schedules a switch to task id at this task's next yield
+// (used by policies to implement "interleave right after instruction X").
+func (t *Task) ArmSwitchAfter(id int) { t.armedSwitch = id }
+
+// BlockSpin marks the task as spin-waiting and yields to another task. The
+// caller retries its operation when resumed. Exceeding the spin limit, or
+// having nobody else to run, aborts the session with a Deadlock.
+func (t *Task) BlockSpin() {
+	s := t.session
+	if s.aborting {
+		panic(abortUnwind{})
+	}
+	t.spin++
+	if t.spin > spinLimit {
+		s.Aborted = &Deadlock{Reason: fmt.Sprintf("task %d exceeded spin limit", t.ID)}
+		s.aborting = true
+		panic(abortUnwind{})
+	}
+	t.state = Blocked
+	target := s.pickOther(t)
+	if target == nil {
+		// Everyone else is done and we cannot make progress.
+		s.Aborted = &Deadlock{Reason: fmt.Sprintf("task %d blocked with no runnable peer", t.ID)}
+		s.aborting = true
+		panic(abortUnwind{})
+	}
+	s.handoff(t, target)
+	t.state = Runnable
+}
+
+// ClearSpin resets the spin counter after successful progress (e.g. a lock
+// was finally acquired).
+func (t *Task) ClearSpin() { t.spin = 0 }
+
+// Peers returns the number of live tasks other than t — callers that want
+// to stall voluntarily (e.g. a watchpoint detector) check this first to
+// avoid a vacuous deadlock.
+func (t *Task) Peers() int {
+	n := 0
+	for _, o := range t.session.tasks {
+		if o != t && o.state != Done {
+			n++
+		}
+	}
+	return n
+}
+
+// pickOther returns the preferred live task other than t: first non-blocked
+// in spawn order, else first blocked.
+func (s *Session) pickOther(t *Task) *Task {
+	var blocked *Task
+	for _, id := range s.order {
+		o := s.byID[id]
+		if o == t || o.state == Done {
+			continue
+		}
+		if o.state == Runnable {
+			return o
+		}
+		if blocked == nil {
+			blocked = o
+		}
+	}
+	return blocked
+}
+
+// Migrate moves the task to another simulated CPU. The paper's Table 4 bug
+// #6 (sbitmap) requires thread migration, which OZZ does not perform —
+// its threads are pinned (§6.2); this hook exists to reproduce the paper's
+// manual-assist experiment.
+func (t *Task) Migrate(cpu int) { t.CPU = cpu }

@@ -1,0 +1,319 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"ozz/internal/trace"
+)
+
+// TestSequentialOrder: Sequential runs tasks to completion in spawn order.
+func TestSequentialOrder(t *testing.T) {
+	var log []int
+	s := NewSession(Sequential{})
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Spawn(i, 0, func(h *Task) {
+			h.Yield(1)
+			log = append(log, i)
+			h.Yield(2)
+			log = append(log, i+10)
+		})
+	}
+	if aborted := s.Run(); aborted != nil {
+		t.Fatalf("aborted: %v", aborted)
+	}
+	want := []int{0, 10, 1, 11, 2, 12}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("order %v, want %v", log, want)
+	}
+}
+
+// TestBreakpointBefore: the switch happens before the matched instruction
+// executes.
+func TestBreakpointBefore(t *testing.T) {
+	var log []string
+	bp := &Breakpoint{FromTask: 0, Instr: 5, Pos: PosBefore, ToTask: 1}
+	s := NewSession(bp)
+	s.Spawn(0, 0, func(h *Task) {
+		h.Yield(1)
+		log = append(log, "a1")
+		h.Yield(5)
+		log = append(log, "a5")
+	})
+	s.Spawn(1, 1, func(h *Task) {
+		h.Yield(2)
+		log = append(log, "b")
+	})
+	if aborted := s.Run(); aborted != nil {
+		t.Fatalf("aborted: %v", aborted)
+	}
+	want := []string{"a1", "b", "a5"}
+	if fmt.Sprint(log) != fmt.Sprint(want) || !bp.Fired {
+		t.Fatalf("order %v (fired=%v), want %v", log, bp.Fired, want)
+	}
+}
+
+// TestBreakpointAfter: the switch happens after the matched instruction
+// executes (at the task's next scheduling point).
+func TestBreakpointAfter(t *testing.T) {
+	var log []string
+	bp := &Breakpoint{FromTask: 0, Instr: 5, Pos: PosAfter, ToTask: 1}
+	s := NewSession(bp)
+	s.Spawn(0, 0, func(h *Task) {
+		h.Yield(5)
+		log = append(log, "a5")
+		h.Yield(6)
+		log = append(log, "a6")
+	})
+	s.Spawn(1, 1, func(h *Task) {
+		h.Yield(2)
+		log = append(log, "b")
+	})
+	if aborted := s.Run(); aborted != nil {
+		t.Fatalf("aborted: %v", aborted)
+	}
+	want := []string{"a5", "b", "a6"}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("order %v, want %v", log, want)
+	}
+}
+
+// TestBreakpointOccurrence: the Nth execution of the instruction matches.
+func TestBreakpointOccurrence(t *testing.T) {
+	var log []string
+	bp := &Breakpoint{FromTask: 0, Instr: 5, Occurrence: 3, Pos: PosBefore, ToTask: 1}
+	s := NewSession(bp)
+	s.Spawn(0, 0, func(h *Task) {
+		for i := 0; i < 4; i++ {
+			h.Yield(5)
+			log = append(log, fmt.Sprintf("a%d", i))
+		}
+	})
+	s.Spawn(1, 1, func(h *Task) {
+		h.Yield(2)
+		log = append(log, "b")
+	})
+	if aborted := s.Run(); aborted != nil {
+		t.Fatalf("aborted: %v", aborted)
+	}
+	want := []string{"a0", "a1", "b", "a2", "a3"}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("order %v, want %v", log, want)
+	}
+}
+
+// TestBreakpointNotFired: a breakpoint on an unreached instruction leaves
+// Fired false and both tasks complete.
+func TestBreakpointNotFired(t *testing.T) {
+	bp := &Breakpoint{FromTask: 0, Instr: 999, Pos: PosBefore, ToTask: 1}
+	s := NewSession(bp)
+	done := 0
+	s.Spawn(0, 0, func(h *Task) { h.Yield(1); done++ })
+	s.Spawn(1, 1, func(h *Task) { h.Yield(1); done++ })
+	if aborted := s.Run(); aborted != nil {
+		t.Fatalf("aborted: %v", aborted)
+	}
+	if bp.Fired || done != 2 {
+		t.Fatalf("fired=%v done=%d", bp.Fired, done)
+	}
+}
+
+// TestCrashAbortsSession: a panicking task aborts the session; the peer
+// unwinds and Run returns the panic value.
+func TestCrashAbortsSession(t *testing.T) {
+	bp := &Breakpoint{FromTask: 0, Instr: 5, Pos: PosBefore, ToTask: 1}
+	s := NewSession(bp)
+	reachedTail := false
+	s.Spawn(0, 0, func(h *Task) {
+		h.Yield(5) // switch to task 1, which crashes
+		reachedTail = true
+	})
+	s.Spawn(1, 1, func(h *Task) {
+		h.Yield(1)
+		panic("simulated kernel crash")
+	})
+	aborted := s.Run()
+	if aborted != "simulated kernel crash" {
+		t.Fatalf("aborted = %v", aborted)
+	}
+	if reachedTail {
+		t.Fatal("suspended task must unwind, not resume, after the abort")
+	}
+}
+
+// TestBlockSpinHandoff: a spin-blocked task lets the peer run and retries.
+func TestBlockSpinHandoff(t *testing.T) {
+	locked := true
+	var log []string
+	s := NewSession(Sequential{})
+	s.Spawn(0, 0, func(h *Task) {
+		h.Yield(1)
+		for locked {
+			h.BlockSpin()
+		}
+		h.ClearSpin()
+		log = append(log, "acquired")
+	})
+	s.Spawn(1, 1, func(h *Task) {
+		h.Yield(2)
+		locked = false
+		log = append(log, "released")
+	})
+	if aborted := s.Run(); aborted != nil {
+		t.Fatalf("aborted: %v", aborted)
+	}
+	want := []string{"released", "acquired"}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("order %v, want %v", log, want)
+	}
+}
+
+// TestDeadlockDetected: a task spinning with no peer to release it aborts
+// with a Deadlock.
+func TestDeadlockDetected(t *testing.T) {
+	s := NewSession(Sequential{})
+	s.Spawn(0, 0, func(h *Task) {
+		for {
+			h.BlockSpin()
+		}
+	})
+	aborted := s.Run()
+	if _, ok := aborted.(*Deadlock); !ok {
+		t.Fatalf("expected deadlock, got %v", aborted)
+	}
+}
+
+// TestSpinLimitLivelock: two tasks spinning on each other forever hit the
+// spin limit.
+func TestSpinLimitLivelock(t *testing.T) {
+	s := NewSession(Sequential{})
+	for i := 0; i < 2; i++ {
+		s.Spawn(i, i, func(h *Task) {
+			for {
+				h.BlockSpin()
+			}
+		})
+	}
+	aborted := s.Run()
+	if _, ok := aborted.(*Deadlock); !ok {
+		t.Fatalf("expected deadlock/livelock, got %v", aborted)
+	}
+}
+
+// TestDynamicSpawn: a running task can spawn another (fork), which is then
+// scheduled.
+func TestDynamicSpawn(t *testing.T) {
+	var log []string
+	s := NewSession(Sequential{})
+	s.Spawn(0, 0, func(h *Task) {
+		h.Yield(1)
+		log = append(log, "parent")
+		h.session.Spawn(1, 1, func(h2 *Task) {
+			h2.Yield(1)
+			log = append(log, "child")
+		})
+		h.Yield(2)
+		log = append(log, "parent2")
+	})
+	if aborted := s.Run(); aborted != nil {
+		t.Fatalf("aborted: %v", aborted)
+	}
+	want := []string{"parent", "parent2", "child"}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("order %v, want %v", log, want)
+	}
+}
+
+// TestRandomPolicyDeterministic: the same seed yields the same schedule.
+func TestRandomPolicyDeterministic(t *testing.T) {
+	run := func(seed int64) string {
+		var log []string
+		s := NewSession(&Random{Seed: seed, Period: 2})
+		for i := 0; i < 3; i++ {
+			i := i
+			s.Spawn(i, i, func(h *Task) {
+				for j := 0; j < 5; j++ {
+					h.Yield(trace.InstrID(j + 1))
+					log = append(log, fmt.Sprintf("%d.%d", i, j))
+				}
+			})
+		}
+		if aborted := s.Run(); aborted != nil {
+			t.Fatalf("aborted: %v", aborted)
+		}
+		return fmt.Sprint(log)
+	}
+	if run(1) != run(1) {
+		t.Fatal("same seed must give the same schedule")
+	}
+	if run(1) == run(2) && run(3) == run(1) {
+		t.Fatal("different seeds should usually differ")
+	}
+}
+
+// TestMigrate: Migrate changes the CPU visible through the handle.
+func TestMigrate(t *testing.T) {
+	s := NewSession(Sequential{})
+	var cpus []int
+	s.Spawn(0, 1, func(h *Task) {
+		cpus = append(cpus, h.CPU)
+		h.Migrate(3)
+		cpus = append(cpus, h.CPU)
+	})
+	if aborted := s.Run(); aborted != nil {
+		t.Fatalf("aborted: %v", aborted)
+	}
+	if fmt.Sprint(cpus) != "[1 3]" {
+		t.Fatalf("cpus = %v", cpus)
+	}
+}
+
+// TestYieldCount: sessions count scheduling points.
+func TestYieldCount(t *testing.T) {
+	s := NewSession(Sequential{})
+	s.Spawn(0, 0, func(h *Task) {
+		for i := 0; i < 7; i++ {
+			h.Yield(1)
+		}
+	})
+	if aborted := s.Run(); aborted != nil {
+		t.Fatalf("aborted: %v", aborted)
+	}
+	if s.Yields() != 7 {
+		t.Fatalf("yields = %d, want 7", s.Yields())
+	}
+}
+
+// TestNoGoroutineLeak: sessions must not leak goroutines — a fuzzer runs
+// millions of them. Both clean completions and aborted (crashing) sessions
+// must unwind every task goroutine.
+func TestNoGoroutineLeak(t *testing.T) {
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		s := NewSession(Sequential{})
+		for id := 0; id < 3; id++ {
+			id := id
+			s.Spawn(id, id, func(h *Task) {
+				h.Yield(1)
+				if id == 2 && i%2 == 0 {
+					panic("boom") // aborting path
+				}
+				h.Yield(2)
+			})
+		}
+		s.Run()
+	}
+	// Let unwinding goroutines finish.
+	for try := 0; try < 100; try++ {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarrierKindProperties(t *testing.T) {
+	cases := []struct {
+		kind          BarrierKind
+		stores, loads bool
+		name          string
+	}{
+		{BarrierFull, true, true, "smp_mb"},
+		{BarrierStore, true, false, "smp_wmb"},
+		{BarrierLoad, false, true, "smp_rmb"},
+		{BarrierRelease, true, false, "smp_store_release"},
+		{BarrierAcquire, false, true, "smp_load_acquire"},
+	}
+	for _, c := range cases {
+		if c.kind.OrdersStores() != c.stores {
+			t.Errorf("%s.OrdersStores() = %v", c.name, !c.stores)
+		}
+		if c.kind.OrdersLoads() != c.loads {
+			t.Errorf("%s.OrdersLoads() = %v", c.name, !c.loads)
+		}
+		if c.kind.String() != c.name {
+			t.Errorf("String() = %q, want %q", c.kind.String(), c.name)
+		}
+	}
+}
+
+func TestAccessKindAndAtomicityStrings(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Error("AccessKind strings broken")
+	}
+	for a, want := range map[Atomicity]string{
+		Plain: "plain", Once: "once", Atomic: "atomic",
+		AtomicAcquire: "acquire", AtomicRelease: "release",
+	} {
+		if a.String() != want {
+			t.Errorf("%v.String() = %q", a, a.String())
+		}
+	}
+}
+
+func TestBufferRoundTrip(t *testing.T) {
+	var b Buffer
+	b.RecordAccess(AccessEvent{Instr: 1, Addr: 0x10, Kind: Store, Size: 8, Time: 5})
+	b.RecordBarrier(BarrierEvent{Instr: 2, Kind: BarrierStore, Time: 6})
+	b.RecordAccess(AccessEvent{Instr: 3, Addr: 0x18, Kind: Load, Size: 8, Time: 7})
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if accs := b.Accesses(); len(accs) != 2 || accs[0].Instr != 1 || accs[1].Kind != Load {
+		t.Fatalf("Accesses = %v", accs)
+	}
+	if bars := b.Barriers(); len(bars) != 1 || bars[0].Kind != BarrierStore {
+		t.Fatalf("Barriers = %v", bars)
+	}
+	clone := b.Clone()
+	b.Reset()
+	if b.Len() != 0 || len(clone) != 3 {
+		t.Fatalf("Reset/Clone interplay broken: %d / %d", b.Len(), len(clone))
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	acc := Event{Acc: AccessEvent{Instr: 7, Addr: 0x20, Kind: Store, Time: 11}}
+	bar := Event{Barrier: true, Bar: BarrierEvent{Instr: 8, Kind: BarrierLoad, Time: 12}}
+	if acc.Instr() != 7 || acc.Time() != 11 {
+		t.Error("access accessors broken")
+	}
+	if bar.Instr() != 8 || bar.Time() != 12 {
+		t.Error("barrier accessors broken")
+	}
+	if !strings.Contains(acc.String(), "store") || !strings.Contains(bar.String(), "smp_rmb") {
+		t.Errorf("String: %q / %q", acc, bar)
+	}
+}
+
+func TestBufferDump(t *testing.T) {
+	var b Buffer
+	b.RecordAccess(AccessEvent{Instr: 1, Addr: 0x10, Kind: Load})
+	b.RecordBarrier(BarrierEvent{Instr: 2, Kind: BarrierFull})
+	dump := b.Dump()
+	if !strings.Contains(dump, "load") || !strings.Contains(dump, "smp_mb") {
+		t.Errorf("Dump = %q", dump)
+	}
+}
