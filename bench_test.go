@@ -7,6 +7,8 @@ package ozz
 // -bench output IS the reproduction record (see EXPERIMENTS.md).
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -130,6 +132,28 @@ func BenchmarkThroughputComparison(b *testing.B) {
 	b.ReportMetric(res.Slowdown, "slowdown-x")
 	b.ReportMetric(res.OzzTestsPerSec, "ozz-tests/s")
 	b.ReportMetric(res.SyzkallerTestsPerSec, "syzkaller-tests/s")
+}
+
+// BenchmarkParallelThroughput measures the Pool executor at 1, 2, 4, and
+// GOMAXPROCS workers — the tests/s scaling column of the §6.3.2 table. Each
+// sub-benchmark runs one full pipeline step per iteration; the campaign
+// itself is deterministic in the seed, so every width does identical work.
+func BenchmarkParallelThroughput(b *testing.B) {
+	widths := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		widths = append(widths, n)
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := core.NewPool(core.Config{Seed: 1, UseSeeds: true}, w)
+			b.ResetTimer()
+			p.Run(b.N)
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tests/s")
+			s := p.Stats()
+			b.ReportMetric(100*s.Perf.STICacheHitRate(), "sti-cache-hit-%")
+			b.ReportMetric(100*s.Perf.RecycleRate(), "kernel-recycle-%")
+		})
+	}
 }
 
 // --- §4.3: search-heuristic validation --------------------------------------

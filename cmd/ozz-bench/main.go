@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"ozz/internal/bench"
@@ -27,6 +28,7 @@ func main() {
 	budget := flag.Int("budget", 80, "fuzzer steps per bug for the campaign tables")
 	iters := flag.Int("iters", 5000, "operations per LMBench workload")
 	tpBudget := flag.Duration("tp-budget", time.Second, "wall-clock budget per side of the throughput comparison")
+	workers := flag.Bool("workers", true, "include the worker-scaling rows (1, 2, 4, GOMAXPROCS) in the throughput table")
 	flag.Parse()
 
 	valid := map[string]bool{"3": true, "4": true, "5": true, "throughput": true, "heuristic": true, "ofence": true, "kcsan": true, "all": true}
@@ -57,7 +59,14 @@ func main() {
 	}
 	if run("throughput") {
 		fmt.Println("== §6.3.2: fuzzing throughput ==")
-		fmt.Print(bench.MeasureThroughput(*tpBudget, nil, nil).Format())
+		var ws []int
+		if *workers {
+			ws = []int{1, 2, 4}
+			if n := runtime.GOMAXPROCS(0); n > 4 {
+				ws = append(ws, n)
+			}
+		}
+		fmt.Print(bench.MeasureThroughputWorkers(*tpBudget, nil, nil, ws).Format())
 		fmt.Println("(paper: syzkaller 7.33 tests/s, OZZ 0.92 tests/s — 7.9x slower)")
 		fmt.Println()
 	}

@@ -4,21 +4,27 @@
 //
 // Usage:
 //
-//	ozz [-modules tls,xsk] [-bugs all|sw1,sw2] [-steps 500] [-seed 1] [-v]
+//	ozz [-modules tls,xsk] [-bugs all|sw1,sw2] [-steps 500] [-seed 1] [-workers 4] [-v]
 //
 // With -bugs all (the default), every Table 3/Table 4 bug switch is active —
 // the fuzzer hunts the whole corpus. With -bugs "" the kernel is fully
 // fixed and a clean campaign is expected to find nothing.
+//
+// The campaign runs on the parallel Pool executor at -workers width. The
+// step sequence is deterministic in the campaign seed, so any worker count
+// produces the same findings, coverage, and corpus — only faster.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"ozz/internal/core"
 	"ozz/internal/modules"
+	"ozz/internal/report"
 )
 
 func main() {
@@ -27,7 +33,8 @@ func main() {
 		bugs      = flag.String("bugs", "all", `bug switches to enable: "all", "" (none), or a comma list`)
 		steps     = flag.Int("steps", 300, "fuzzer iterations")
 		seed      = flag.Int64("seed", 1, "campaign seed")
-		v         = flag.Bool("v", false, "print per-step progress")
+		workers   = flag.Int("workers", 1, "parallel campaign workers (0 or negative = GOMAXPROCS)")
+		v         = flag.Bool("v", false, "print per-step progress and campaign metrics")
 		list      = flag.Bool("list", false, "list modules and bug switches, then exit")
 		corpusIn  = flag.String("corpus-in", "", "file with a previously exported corpus to resume from")
 		corpusOut = flag.String("corpus-out", "", "file to export the coverage corpus to at exit")
@@ -65,44 +72,88 @@ func main() {
 		bugSet = modules.Bugs(strings.Split(*bugs, ",")...)
 	}
 
-	f := core.NewFuzzer(core.Config{
+	// Every worker count runs on the Pool executor — the campaign's step
+	// sequence is a function of the seed alone, so -workers only changes
+	// wall-clock time, never the output.
+	p := core.NewPool(core.Config{
 		Modules:  modList,
 		Bugs:     bugSet,
 		Seed:     *seed,
 		UseSeeds: true,
-	})
+	}, *workers)
 	if *corpusIn != "" {
-		data, err := os.ReadFile(*corpusIn)
+		in, err := os.Open(*corpusIn)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "corpus-in: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "imported %d corpus programs\n", f.ImportCorpus(string(data)))
+		n, err := p.ReadCorpus(in)
+		in.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "corpus-in: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "imported %d corpus programs\n", n)
 	}
-	for n := 0; n < *steps; n++ {
-		newReports := f.Step()
-		if *v && n%50 == 0 {
+	if *v {
+		fmt.Fprintf(os.Stderr, "campaign: %d workers\n", p.Workers)
+	}
+	const chunk = 64
+	for done := 0; done < *steps; {
+		n := chunk
+		if *steps-done < n {
+			n = *steps - done
+		}
+		printFindings(p.Run(n))
+		done += n
+		if *v && done < *steps {
+			s := p.Stats()
 			fmt.Fprintf(os.Stderr, "step %d: %d STIs, %d MTIs, %d hints, cov %d edges, %d crash titles\n",
-				n, f.Stats.STIs, f.Stats.MTIs, f.Stats.Hints, f.CoverageEdges(), f.Reports.Len())
-		}
-		for _, r := range newReports {
-			fmt.Println("=== new finding ===")
-			fmt.Print(r.String())
+				done, s.STIs, s.MTIs, s.Hints, p.CoverageEdges(), p.Reports.Len())
 		}
 	}
+	stats := p.Stats()
+	printSummary(stats, p.CoverageEdges(), p.Reports.All(), *v)
+	if *corpusOut != "" {
+		writeCorpusFile(*corpusOut, p.WriteCorpus)
+	}
+}
+
+func printFindings(rs []*report.Report) {
+	for _, r := range rs {
+		fmt.Println("=== new finding ===")
+		fmt.Print(r.String())
+	}
+}
+
+func printSummary(stats core.Stats, covEdges int, all []*report.Report, v bool) {
 	fmt.Printf("\ncampaign done: %d steps, %d STIs, %d MTIs (%d vacuous), %d hints, %d coverage edges\n",
-		f.Stats.Steps, f.Stats.STIs, f.Stats.MTIs, f.Stats.Vacuous, f.Stats.Hints, f.CoverageEdges())
+		stats.Steps, stats.STIs, stats.MTIs, stats.Vacuous, stats.Hints, covEdges)
 	ooo := 0
-	for _, r := range f.Reports.All() {
+	for _, r := range all {
 		if r.OOO {
 			ooo++
 		}
 	}
-	fmt.Printf("findings: %d unique crash titles, %d classified as OOO bugs\n", f.Reports.Len(), ooo)
-	if *corpusOut != "" {
-		if err := os.WriteFile(*corpusOut, []byte(f.ExportCorpus()), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "corpus-out: %v\n", err)
-			os.Exit(1)
-		}
+	fmt.Printf("findings: %d unique crash titles, %d classified as OOO bugs\n", len(all), ooo)
+	if v {
+		fmt.Println(stats.MetricsLine())
+	}
+}
+
+func writeCorpusFile(path string, write func(w io.Writer) error) {
+	out, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corpus-out: %v\n", err)
+		os.Exit(1)
+	}
+	if err := write(out); err != nil {
+		out.Close()
+		fmt.Fprintf(os.Stderr, "corpus-out: %v\n", err)
+		os.Exit(1)
+	}
+	if err := out.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "corpus-out: %v\n", err)
+		os.Exit(1)
 	}
 }

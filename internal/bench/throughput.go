@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"ozz/internal/baseline/inorder"
@@ -22,11 +23,32 @@ type ThroughputResult struct {
 	// OzzMTIsPerProgram reports how much extra work each OZZ "test"
 	// carries (hypothetical-barrier executions per program).
 	OzzMTIsPerProgram float64
+	// Parallel holds the worker-scaling rows (Pool executor at each
+	// requested worker count); empty when only the serial comparison was
+	// measured.
+	Parallel []ParallelRow
+}
+
+// ParallelRow is one workers column of the scaling table: OZZ campaign
+// throughput with the Pool executor at the given width.
+type ParallelRow struct {
+	Workers     int
+	TestsPerSec float64
+	// Speedup is relative to the 1-worker row.
+	Speedup float64
 }
 
 // MeasureThroughput runs both fuzzers for (at least) the given wall-clock
-// budget per side and reports programs/second.
+// budget per side and reports programs/second (serial comparison only).
 func MeasureThroughput(budget time.Duration, mods []string, bugs modules.BugSet) ThroughputResult {
+	return MeasureThroughputWorkers(budget, mods, bugs, nil)
+}
+
+// MeasureThroughputWorkers is MeasureThroughput plus a worker-scaling
+// sweep: for each entry of workers it runs a Pool campaign for the budget
+// and records tests/s, so the §6.3.2 table can report throughput at 1, 2,
+// 4, … N workers.
+func MeasureThroughputWorkers(budget time.Duration, mods []string, bugs modules.BugSet, workers []int) ThroughputResult {
 	// Baseline: syzkaller-style sequential fuzzing on the plain kernel.
 	sz := inorder.NewSyzkaller(mods, bugs, 1)
 	start := time.Now()
@@ -56,13 +78,36 @@ func MeasureThroughput(budget time.Duration, mods []string, bugs modules.BugSet)
 	if f.Stats.Steps > 0 {
 		res.OzzMTIsPerProgram = float64(f.Stats.MTIs) / float64(f.Stats.Steps)
 	}
+
+	// Worker-scaling rows: same campaign Config through the Pool executor.
+	var base float64
+	for _, w := range workers {
+		p := core.NewPool(core.Config{Modules: mods, Bugs: bugs, Seed: 1, UseSeeds: true}, w)
+		p.RunFor(budget)
+		s := p.Stats()
+		row := ParallelRow{Workers: p.Workers, TestsPerSec: s.Perf.TestsPerSec}
+		if base == 0 {
+			base = row.TestsPerSec
+		}
+		if base > 0 {
+			row.Speedup = row.TestsPerSec / base
+		}
+		res.Parallel = append(res.Parallel, row)
+	}
 	return res
 }
 
-// Format renders the §6.3.2 comparison.
+// Format renders the §6.3.2 comparison, with one row per measured worker
+// count when a scaling sweep was run.
 func (r ThroughputResult) Format() string {
-	return fmt.Sprintf(
+	var sb strings.Builder
+	fmt.Fprintf(&sb,
 		"syzkaller baseline: %8.1f tests/s\n"+
 			"OZZ:                %8.1f tests/s  (%.1fx slower; %.1f hypothetical-barrier runs per program)\n",
 		r.SyzkallerTestsPerSec, r.OzzTestsPerSec, r.Slowdown, r.OzzMTIsPerProgram)
+	for _, row := range r.Parallel {
+		fmt.Fprintf(&sb, "OZZ (%2d workers):   %8.1f tests/s  (%.2fx vs 1 worker)\n",
+			row.Workers, row.TestsPerSec, row.Speedup)
+	}
+	return sb.String()
 }

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ozz/internal/syzlang"
+)
+
+// stiCacheCap bounds the number of cached STI profiles. When the cap is
+// reached the cache is dropped wholesale (epoch clearing): campaigns cycle
+// through generations of programs, so stale entries rarely pay rent, and
+// wholesale clearing keeps eviction O(1) and free of iteration-order
+// nondeterminism.
+const stiCacheCap = 4096
+
+// stiCache memoizes single-threaded profiling runs keyed by the canonical
+// syzlang serialization of the program (Program.Key). Re-profiling an
+// identical single-threaded input — which happens constantly across fuzzer
+// steps, minimization, and the Table 3/4 campaigns — becomes a map lookup.
+//
+// Safe for concurrent use. Cached *STIResult values are shared between all
+// callers and MUST be treated as immutable; every consumer in this package
+// only reads them (coverage merging, hint calculation, report formatting).
+type stiCache struct {
+	mu sync.RWMutex
+	m  map[string]*STIResult
+
+	hits, misses atomic.Uint64
+}
+
+func (c *stiCache) get(key string) *STIResult {
+	c.mu.RLock()
+	r := c.m[key]
+	c.mu.RUnlock()
+	if r != nil {
+		c.hits.Add(1)
+	}
+	return r
+}
+
+func (c *stiCache) put(key string, r *STIResult) {
+	c.mu.Lock()
+	if c.m == nil || len(c.m) >= stiCacheCap {
+		c.m = make(map[string]*STIResult)
+	}
+	c.m[key] = r
+	c.mu.Unlock()
+}
+
+// RunSTICached is RunSTI behind the environment's profile cache: the first
+// execution of a program profiles it for real; later executions of a
+// byte-identical program return the memoized result. Correct because Env
+// executions are deterministic — a program's STI outcome is a pure function
+// of (program, environment). The returned result is shared: callers must
+// not mutate it.
+func (e *Env) RunSTICached(p *syzlang.Program) *STIResult {
+	key := p.Key()
+	if r := e.sti.get(key); r != nil {
+		return r
+	}
+	e.sti.misses.Add(1)
+	r := e.RunSTI(p)
+	e.sti.put(key, r)
+	return r
+}
+
+// STICacheCounters reports profile-cache hits and misses. Two workers
+// racing on the same uncached program both count a miss (both profile it;
+// the results are identical), so hits+misses can slightly exceed the
+// number of lookups that found an entry present.
+func (e *Env) STICacheCounters() (hits, misses uint64) {
+	return e.sti.hits.Load(), e.sti.misses.Load()
+}

@@ -1,42 +1,110 @@
 package core
 
 import (
+	"bufio"
+	"io"
 	"strings"
 
 	"ozz/internal/syzlang"
 )
 
-// ExportCorpus serializes the coverage corpus (one program per block,
-// blank-line separated) — syzkaller's corpus persistence, so long campaigns
-// can resume where they left off.
+// Corpus persistence (syzkaller's corpus files, so long campaigns can
+// resume where they left off): one program per block, blank-line
+// separated. The stream variants below never materialize the whole corpus
+// as one string — programs are written through a bufio.Writer and parsed
+// block-by-block from a bufio.Scanner — so corpus size is bounded by the
+// largest single program, not the file.
+
+// writeCorpus streams the programs to w, buffered.
+func writeCorpus(w io.Writer, progs []*syzlang.Program) error {
+	bw := bufio.NewWriter(w)
+	for i, p := range progs {
+		if i > 0 {
+			if _, err := bw.WriteString("\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(p.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readCorpus scans blank-line-separated program blocks from r, parsing
+// each against the target. Unparseable or empty blocks are skipped.
+func readCorpus(r io.Reader, target *syzlang.Target) ([]*syzlang.Program, error) {
+	var (
+		progs []*syzlang.Program
+		block strings.Builder
+	)
+	flush := func() {
+		src := strings.TrimSpace(block.String())
+		block.Reset()
+		if src == "" {
+			return
+		}
+		if p, err := target.Parse(src); err == nil && len(p.Calls) > 0 {
+			progs = append(progs, p)
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			flush()
+			continue
+		}
+		block.WriteString(line)
+		block.WriteString("\n")
+	}
+	flush()
+	return progs, sc.Err()
+}
+
+// WriteCorpus streams the coverage corpus to w.
+func (f *Fuzzer) WriteCorpus(w io.Writer) error {
+	return writeCorpus(w, f.corpus)
+}
+
+// ReadCorpus parses a previously written corpus from r and enqueues its
+// programs ahead of random generation (like seed programs). It returns the
+// number of imported programs.
+func (f *Fuzzer) ReadCorpus(r io.Reader) (int, error) {
+	progs, err := readCorpus(r, f.target)
+	f.seeds = append(f.seeds, progs...)
+	return len(progs), err
+}
+
+// WriteCorpus streams the pool campaign's coverage corpus to w.
+func (p *Pool) WriteCorpus(w io.Writer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return writeCorpus(w, p.corpus)
+}
+
+// ReadCorpus parses a previously written corpus from r and enqueues its
+// programs ahead of random generation. Call before Run for deterministic
+// replay. It returns the number of imported programs.
+func (p *Pool) ReadCorpus(r io.Reader) (int, error) {
+	progs, err := readCorpus(r, p.target)
+	p.AddSeeds(progs)
+	return len(progs), err
+}
+
+// ExportCorpus serializes the corpus to a string (string-level wrapper
+// around WriteCorpus, kept for tests and tooling).
 func (f *Fuzzer) ExportCorpus() string {
 	var sb strings.Builder
-	for i, p := range f.corpus {
-		if i > 0 {
-			sb.WriteString("\n")
-		}
-		sb.WriteString(p.String())
-	}
+	_ = writeCorpus(&sb, f.corpus)
 	return sb.String()
 }
 
-// ImportCorpus parses a previously exported corpus and enqueues its
-// programs ahead of random generation (like seed programs). Unparseable
-// blocks are skipped; the count of imported programs is returned.
+// ImportCorpus parses an exported corpus from a string (wrapper around
+// ReadCorpus) and returns the count of imported programs.
 func (f *Fuzzer) ImportCorpus(src string) int {
-	n := 0
-	for _, block := range strings.Split(src, "\n\n") {
-		block = strings.TrimSpace(block)
-		if block == "" {
-			continue
-		}
-		p, err := f.target.Parse(block)
-		if err != nil || len(p.Calls) == 0 {
-			continue
-		}
-		f.seeds = append(f.seeds, p)
-		n++
-	}
+	n, _ := f.ReadCorpus(strings.NewReader(src))
 	return n
 }
 

@@ -7,6 +7,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ozz/internal/hints"
 	"ozz/internal/kernel"
@@ -19,7 +21,10 @@ import (
 
 // Env is the execution environment: which modules are loaded and which bug
 // switches are active. Every execution builds a fresh kernel from it, so
-// runs are independent and deterministic.
+// runs are independent and deterministic. An Env is safe for concurrent use
+// by multiple executor goroutines once configured: the configuration fields
+// are read-only during execution, and the kernel recycler and STI profile
+// cache below are internally synchronized.
 type Env struct {
 	// Modules lists the loaded modules (empty = all registered).
 	Modules []string
@@ -36,6 +41,18 @@ type Env struct {
 	// ablation demonstrating why OZZ's custom scheduler must suspend
 	// vCPUs WITHOUT delivering interrupts.
 	InterruptOnSwitch bool
+
+	// kpool recycles kernel instances across executions: Reset on a used
+	// kernel is much cheaper than rebuilding memory pages, emulator maps,
+	// and allocator state from scratch. sync.Pool is concurrency-safe, so
+	// parallel campaign workers share one recycler.
+	kpool sync.Pool
+	// recycled/built count kernel acquisitions served from the pool vs.
+	// constructed fresh (the pool recycle-rate metric).
+	recycled, built atomic.Uint64
+
+	// sti is the STI profile cache (see cache.go).
+	sti stiCache
 }
 
 // NewEnv returns an instrumented 4-vCPU environment.
@@ -43,15 +60,41 @@ func NewEnv(mods []string, bugs modules.BugSet) *Env {
 	return &Env{Modules: mods, Bugs: bugs, NrCPU: 4, Instrumented: true}
 }
 
+// newKernel acquires a kernel — recycled from the pool when possible —
+// and builds the configured modules over it. The result is identical to a
+// freshly-constructed kernel: Reset restores every observable property
+// (memory content, sanitizer state, emulator clock, site tables).
 func (e *Env) newKernel() (*kernel.Kernel, map[string]modules.Impl) {
 	n := e.NrCPU
 	if n == 0 {
 		n = 4
 	}
-	k := kernel.New(n)
+	var k *kernel.Kernel
+	if v := e.kpool.Get(); v != nil {
+		k = v.(*kernel.Kernel)
+		k.Reset()
+		e.recycled.Add(1)
+	} else {
+		k = kernel.New(n)
+		e.built.Add(1)
+	}
 	k.Instrumented = e.Instrumented
 	impls := modules.Build(k, e.Bugs, e.Modules...)
 	return k, impls
+}
+
+// release returns a kernel to the recycler once an execution has finished
+// with it. Callers must first take ownership of any kernel state they hand
+// out in results (Cov, Soft): Reset replaces those rather than mutating
+// them, so already-captured maps stay valid.
+func (e *Env) release(k *kernel.Kernel) {
+	e.kpool.Put(k)
+}
+
+// KernelCounters reports how many kernel acquisitions were recycled from
+// the pool vs. built fresh.
+func (e *Env) KernelCounters() (recycled, built uint64) {
+	return e.recycled.Load(), e.built.Load()
 }
 
 // resolveArgs materializes a call's arguments given earlier calls' results.
@@ -115,6 +158,9 @@ func (e *Env) RunSTI(p *syzlang.Program) *STIResult {
 		Returns:    make([]uint64, len(p.Calls)),
 	}
 	task := k.NewTask(0)
+	// One profiling buffer serves every call: Clone captures each call's
+	// events, Reset recycles the backing storage for the next call.
+	prof := &trace.Buffer{}
 	session := sched.NewSession(sched.Sequential{})
 	session.Spawn(0, 0, func(st *sched.Task) {
 		task.Bind(st)
@@ -123,7 +169,8 @@ func (e *Env) RunSTI(p *syzlang.Program) *STIResult {
 			args := resolveArgs(c, res.Returns)
 			if impl := impls[c.Def.Name]; impl != nil {
 				if e.Instrumented {
-					task.Prof = &trace.Buffer{}
+					prof.Reset()
+					task.Prof = prof
 				}
 				res.Returns[ci] = impl(task, args)
 				task.SyscallReturn()
@@ -150,6 +197,7 @@ func (e *Env) RunSTI(p *syzlang.Program) *STIResult {
 	classifyAbort(aborted, &res.Crash, &res.Deadlock)
 	res.Cov = k.Cov
 	res.Soft = k.Soft
+	e.release(k)
 	return res
 }
 
@@ -226,6 +274,7 @@ func (e *Env) RunMTI(o MTIOpts) *MTIResult {
 		classifyAbort(aborted, &res.Crash, &res.Deadlock)
 		res.PrefixCrash = true
 		res.Cov = k.Cov
+		e.release(k)
 		return res
 	}
 
@@ -293,6 +342,7 @@ func (e *Env) RunMTI(o MTIOpts) *MTIResult {
 	}
 	res.Soft = k.Soft
 	res.Cov = k.Cov
+	e.release(k)
 	return res
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"ozz/internal/hints"
 	"ozz/internal/modules"
@@ -40,7 +41,9 @@ type Config struct {
 	InterruptOnSwitch bool
 }
 
-// Stats counts fuzzer work, mirroring the paper's execution metrics.
+// Stats counts fuzzer work, mirroring the paper's execution metrics. All
+// fields except Perf are deterministic functions of the campaign Config —
+// identical across worker counts and runs.
 type Stats struct {
 	Steps     uint64 // fuzzer iterations
 	STIs      uint64 // single-threaded executions
@@ -49,6 +52,57 @@ type Stats struct {
 	Vacuous   uint64 // MTIs whose scheduling point never fired
 	NewCov    uint64 // runs that grew coverage
 	CorpusLen int
+
+	// Perf holds throughput and reuse metrics. Unlike the counters above
+	// these depend on wall-clock time and goroutine scheduling, so they
+	// vary run to run; determinism comparisons must zero this block.
+	Perf PerfStats
+}
+
+// PerfStats are the scheduling-dependent campaign metrics (§6.3.2
+// throughput and the executor's state-reuse rates).
+type PerfStats struct {
+	Workers         int
+	Elapsed         time.Duration
+	TestsPerSec     float64 // campaign steps per second
+	ExecsPerSec     float64 // kernel executions per second (all workers)
+	STICacheHits    uint64
+	STICacheMisses  uint64
+	KernelsRecycled uint64
+	KernelsBuilt    uint64
+}
+
+// STICacheHitRate returns the fraction of STI profile lookups served from
+// the cache (0 when no lookups happened).
+func (p PerfStats) STICacheHitRate() float64 {
+	total := p.STICacheHits + p.STICacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.STICacheHits) / float64(total)
+}
+
+// RecycleRate returns the fraction of kernel executions that reused a
+// pooled kernel instead of constructing one.
+func (p PerfStats) RecycleRate() float64 {
+	total := p.KernelsRecycled + p.KernelsBuilt
+	if total == 0 {
+		return 0
+	}
+	return float64(p.KernelsRecycled) / float64(total)
+}
+
+// MetricsLine formats the campaign metrics as a single log line
+// (cmd/ozz -v prints it at the end of a campaign).
+func (s Stats) MetricsLine() string {
+	perWorker := s.Perf.ExecsPerSec
+	if s.Perf.Workers > 1 {
+		perWorker /= float64(s.Perf.Workers)
+	}
+	return fmt.Sprintf(
+		"metrics: %.1f tests/s, %.1f exec/s/worker (%d workers), sti-cache %.0f%% hit, kernel-pool %.0f%% recycled",
+		s.Perf.TestsPerSec, perWorker, s.Perf.Workers,
+		100*s.Perf.STICacheHitRate(), 100*s.Perf.RecycleRate())
 }
 
 // Fuzzer is OZZ's fuzzing loop (Fig. 6): generate STI -> profile ->
@@ -58,6 +112,7 @@ type Fuzzer struct {
 	env    *Env
 	target *syzlang.Target
 	rng    *rand.Rand
+	start  time.Time
 
 	corpus []*syzlang.Program
 	seeds  []*syzlang.Program
@@ -90,6 +145,7 @@ func NewFuzzer(cfg Config) *Fuzzer {
 		env:     env,
 		target:  modules.Target(cfg.Modules...),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		start:   time.Now(),
 		cov:     make(map[uint64]struct{}),
 		Reports: report.NewSet(),
 	}
@@ -105,6 +161,21 @@ func NewFuzzer(cfg Config) *Fuzzer {
 
 // Env exposes the execution environment (for tools layered on the fuzzer).
 func (f *Fuzzer) Env() *Env { return f.env }
+
+// Snapshot returns the campaign counters with the Perf block filled in
+// from the environment's reuse counters and the elapsed wall clock.
+func (f *Fuzzer) Snapshot() Stats {
+	s := f.Stats
+	s.Perf.Workers = 1
+	s.Perf.Elapsed = time.Since(f.start)
+	s.Perf.STICacheHits, s.Perf.STICacheMisses = f.env.STICacheCounters()
+	s.Perf.KernelsRecycled, s.Perf.KernelsBuilt = f.env.KernelCounters()
+	if sec := s.Perf.Elapsed.Seconds(); sec > 0 {
+		s.Perf.TestsPerSec = float64(s.Steps) / sec
+		s.Perf.ExecsPerSec = float64(s.Perf.KernelsRecycled+s.Perf.KernelsBuilt) / sec
+	}
+	return s
+}
 
 // nextProgram picks the next single-threaded input: pending seeds first,
 // then mutations of the coverage corpus, then fresh generations.
@@ -146,8 +217,9 @@ func (f *Fuzzer) Step() []*report.Report {
 	f.Stats.Steps++
 	p := f.nextProgram()
 
-	// Phase 1: single-threaded profiling run (§4.2).
-	sti := f.env.RunSTI(p)
+	// Phase 1: single-threaded profiling run (§4.2), memoized — repeat
+	// programs (seed replays, stable mutants) skip re-profiling.
+	sti := f.env.RunSTICached(p)
 	f.Stats.STIs++
 	var found []*report.Report
 	if f.mergeCov(sti.Cov) {
@@ -175,7 +247,7 @@ func (f *Fuzzer) Step() []*report.Report {
 	}
 
 	// Phase 2+3: scheduling hints and multi-threaded runs (§4.3, §4.4).
-	pairs := f.pairOrder(len(p.Calls))
+	pairs := pairOrder(len(p.Calls))
 	if len(pairs) > f.cfg.MaxPairs {
 		pairs = pairs[:f.cfg.MaxPairs]
 	}
@@ -186,16 +258,7 @@ func (f *Fuzzer) Step() []*report.Report {
 		}
 		hs := hints.Calculate(sti.CallEvents[i], sti.CallEvents[j])
 		f.Stats.Hints += uint64(len(hs))
-		switch f.cfg.HintOrder {
-		case "", "heuristic":
-			// Calculate already sorted by the search heuristic.
-		case "reverse":
-			for a, b := 0, len(hs)-1; a < b; a, b = a+1, b-1 {
-				hs[a], hs[b] = hs[b], hs[a]
-			}
-		case "random":
-			f.rng.Shuffle(len(hs), func(a, b int) { hs[a], hs[b] = hs[b], hs[a] })
-		}
+		orderHints(hs, f.cfg.HintOrder, f.rng)
 		if len(hs) > f.cfg.MaxHintsPerPair {
 			hs = hs[:f.cfg.MaxHintsPerPair]
 		}
@@ -262,19 +325,6 @@ func (f *Fuzzer) harvest(p *syzlang.Program, i, j int, h *hints.Hint, rank int, 
 		add(r)
 	}
 	return found
-}
-
-// pairOrder enumerates call pairs (i, j), i < j, adjacent pairs first —
-// concurrency bugs overwhelmingly involve calls operating on the same
-// just-created resource.
-func (f *Fuzzer) pairOrder(n int) [][2]int {
-	var pairs [][2]int
-	for d := 1; d < n; d++ {
-		for i := 0; i+d < n; i++ {
-			pairs = append(pairs, [2]int{i, i + d})
-		}
-	}
-	return pairs
 }
 
 // Run executes steps until the budget is exhausted, returning all new

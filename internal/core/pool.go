@@ -1,0 +1,569 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"ozz/internal/hints"
+	"ozz/internal/modules"
+	"ozz/internal/report"
+	"ozz/internal/syzlang"
+)
+
+// batchSize is the number of campaign steps planned, executed, and merged
+// per scheduling round of the Pool. It is a fixed constant — deliberately
+// independent of the worker count — because it is part of the campaign's
+// deterministic semantics: corpus feedback (mutating coverage-growing
+// programs) crosses batch boundaries only, so a campaign's results are
+// byte-identical at any worker count. Larger than any sane worker count so
+// stragglers at the batch barrier cost little parallelism.
+const batchSize = 32
+
+// covShards is the stripe count of ShardedCov. 64 stripes keep lock
+// contention negligible at any realistic worker count.
+const covShards = 64
+
+// ShardedCov is a mutex-striped coverage edge set, safe for concurrent
+// merging and reading. The final content of the set is independent of merge
+// order (set union commutes), so concurrent publication never compromises
+// campaign determinism.
+type ShardedCov struct {
+	shards [covShards]covShard
+}
+
+type covShard struct {
+	mu sync.Mutex
+	m  map[uint64]struct{}
+}
+
+// NewShardedCov returns an empty sharded coverage set.
+func NewShardedCov() *ShardedCov {
+	c := &ShardedCov{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]struct{})
+	}
+	return c
+}
+
+// shardOf spreads edges over stripes by multiplicative hashing (edge values
+// are structured — prev<<32|site — so raw low bits would collide).
+func shardOf(edge uint64) int {
+	return int((edge * 0x9e3779b97f4a7c15) >> (64 - 6))
+}
+
+// MergeNew inserts every edge of cov and returns how many were new.
+func (c *ShardedCov) MergeNew(cov map[uint64]struct{}) int {
+	grew := 0
+	for e := range cov {
+		s := &c.shards[shardOf(e)]
+		s.mu.Lock()
+		if _, ok := s.m[e]; !ok {
+			s.m[e] = struct{}{}
+			grew++
+		}
+		s.mu.Unlock()
+	}
+	return grew
+}
+
+// Len returns the number of distinct edges.
+func (c *ShardedCov) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot copies the set into one plain map.
+func (c *ShardedCov) Snapshot() map[uint64]struct{} {
+	out := make(map[uint64]struct{}, c.Len())
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for e := range s.m {
+			out[e] = struct{}{}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// SafeReportSet wraps report.Set for concurrent use: the campaign merger
+// adds findings while progress printers and other goroutines read counts
+// and titles.
+type SafeReportSet struct {
+	mu  sync.Mutex
+	set *report.Set
+}
+
+// NewSafeReportSet returns an empty guarded set.
+func NewSafeReportSet() *SafeReportSet {
+	return &SafeReportSet{set: report.NewSet()}
+}
+
+// Add inserts the report unless its title is known; reports true when new.
+func (s *SafeReportSet) Add(r *report.Report) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.set.Add(r)
+}
+
+// Get returns the report with the given title, or nil.
+func (s *SafeReportSet) Get(title string) *report.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.set.Get(title)
+}
+
+// Len returns the number of unique reports.
+func (s *SafeReportSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.set.Len()
+}
+
+// All returns the reports in discovery order.
+func (s *SafeReportSet) All() []*report.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.set.All()
+}
+
+// Titles returns the sorted unique titles.
+func (s *SafeReportSet) Titles() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.set.Titles()
+}
+
+// Pool is the parallel campaign executor: N workers execute OZZ pipeline
+// steps (STI profiling, hint calculation, hypothetical-barrier MTI runs)
+// concurrently over a shared Env, publishing into a sharded coverage map
+// and a deduplicated, concurrency-guarded report set.
+//
+// Determinism: each step's random stream is derived from (campaign seed,
+// step index) — not from a shared sequential generator — and results are
+// merged in step-index order at fixed batch boundaries. A campaign with a
+// given Config therefore produces byte-identical Stats (modulo the Perf
+// timing block), coverage, corpus, and reports at ANY worker count,
+// regardless of completion order. Heavy work (kernel executions) runs in
+// parallel; only planning and merging are serialized, and both are cheap.
+type Pool struct {
+	// Workers is the executor width. NewPool defaults it to
+	// runtime.GOMAXPROCS(0).
+	Workers int
+
+	cfg    Config
+	env    *Env
+	target *syzlang.Target
+
+	// Cov is the global coverage set, concurrently readable.
+	Cov *ShardedCov
+	// Reports collects deduplicated findings, concurrently readable.
+	Reports *SafeReportSet
+
+	mu     sync.Mutex // guards seeds, corpus, Stats, steps
+	seeds  []*syzlang.Program
+	corpus []*syzlang.Program
+	stats  Stats
+	steps  uint64 // next global step index
+	start  time.Time
+}
+
+// NewPool builds a parallel campaign executor. workers <= 0 selects
+// runtime.GOMAXPROCS(0). The Config fields have the same meaning as for
+// NewFuzzer.
+func NewPool(cfg Config, workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ProgLen == 0 {
+		cfg.ProgLen = 4
+	}
+	if cfg.MaxHintsPerPair == 0 {
+		cfg.MaxHintsPerPair = 8
+	}
+	if cfg.MaxPairs == 0 {
+		cfg.MaxPairs = 8
+	}
+	env := NewEnv(cfg.Modules, cfg.Bugs)
+	if cfg.NrCPU != 0 {
+		env.NrCPU = cfg.NrCPU
+	}
+	env.InterruptOnSwitch = cfg.InterruptOnSwitch
+	p := &Pool{
+		Workers: workers,
+		cfg:     cfg,
+		env:     env,
+		target:  modules.Target(cfg.Modules...),
+		Cov:     NewShardedCov(),
+		Reports: NewSafeReportSet(),
+	}
+	if cfg.UseSeeds {
+		for _, src := range modules.Seeds(cfg.Modules...) {
+			if sp, err := p.target.Parse(src); err == nil {
+				p.seeds = append(p.seeds, sp)
+			}
+		}
+	}
+	return p
+}
+
+// Env exposes the shared execution environment (profile cache and kernel
+// recycler included).
+func (p *Pool) Env() *Env { return p.env }
+
+// AddSeeds enqueues programs to run ahead of random generation (corpus
+// resume). Call before Run.
+func (p *Pool) AddSeeds(ps []*syzlang.Program) {
+	p.mu.Lock()
+	p.seeds = append(p.seeds, ps...)
+	p.mu.Unlock()
+}
+
+// Stats returns a copy of the campaign counters (concurrently callable; the
+// Perf block is refreshed on every call).
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.CorpusLen = len(p.corpus)
+	p.fillPerf(&s)
+	return s
+}
+
+// CorpusLen returns the current coverage-corpus size.
+func (p *Pool) CorpusLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.corpus)
+}
+
+// CorpusPrograms returns copies of the corpus programs.
+func (p *Pool) CorpusPrograms() []*syzlang.Program {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*syzlang.Program, len(p.corpus))
+	for i, q := range p.corpus {
+		out[i] = q.Clone()
+	}
+	return out
+}
+
+// CoverageEdges returns the number of distinct edges covered so far.
+func (p *Pool) CoverageEdges() int { return p.Cov.Len() }
+
+// fillPerf refreshes the scheduling-dependent Perf block. Caller holds
+// p.mu (it reads p.start).
+func (p *Pool) fillPerf(s *Stats) {
+	s.Perf.Workers = p.Workers
+	if !p.start.IsZero() {
+		s.Perf.Elapsed = time.Since(p.start)
+	}
+	s.Perf.STICacheHits, s.Perf.STICacheMisses = p.env.STICacheCounters()
+	s.Perf.KernelsRecycled, s.Perf.KernelsBuilt = p.env.KernelCounters()
+	if sec := s.Perf.Elapsed.Seconds(); sec > 0 {
+		s.Perf.TestsPerSec = float64(s.Steps) / sec
+		s.Perf.ExecsPerSec = float64(s.Perf.KernelsRecycled+s.Perf.KernelsBuilt) / sec
+	}
+}
+
+// jobSeed derives the random seed of one campaign step from the campaign
+// seed and the step's global index (splitmix64 finalizer): step i draws
+// from the same stream no matter which worker runs it or when.
+func jobSeed(seed int64, idx uint64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(idx+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// job is one planned campaign step: the program to test and the step's
+// private random stream (already advanced past program selection).
+type job struct {
+	idx  uint64
+	prog *syzlang.Program
+	rng  *rand.Rand
+}
+
+// jobReport is one finding produced inside a job. rebaseTests marks
+// reports whose Tests field counts job-local MTIs at discovery time; the
+// merger rebases it onto the campaign-cumulative count in index order, so
+// the final value matches what a serial run would have reported.
+type jobReport struct {
+	r           *report.Report
+	rebaseTests bool
+}
+
+// jobResult is the outcome of one executed step, merged in index order.
+type jobResult struct {
+	idx     uint64
+	prog    *syzlang.Program
+	stiCov  map[uint64]struct{} // STI coverage (corpus admission signal)
+	mtiCov  map[uint64]struct{} // union of MTI coverage
+	reports []jobReport
+	mtis    uint64
+	hints   uint64
+	vacuous uint64
+}
+
+// planStep picks step idx's program exactly like Fuzzer.nextProgram, from
+// the corpus as of the current batch boundary, using the step's private
+// rng. Caller holds p.mu.
+func (p *Pool) planStep(idx uint64) job {
+	rng := rand.New(rand.NewSource(jobSeed(p.cfg.Seed, idx)))
+	var prog *syzlang.Program
+	switch {
+	case len(p.seeds) > 0:
+		prog = p.seeds[0]
+		p.seeds = p.seeds[1:]
+	case len(p.corpus) > 0 && rng.Intn(3) != 0:
+		prog = p.target.Mutate(rng, p.corpus[rng.Intn(len(p.corpus))])
+	default:
+		mods := p.target.Modules()
+		prog = p.target.GenerateFocused(rng, p.cfg.ProgLen, mods[rng.Intn(len(mods))])
+	}
+	return job{idx: idx, prog: prog, rng: rng}
+}
+
+// runJob executes one campaign step: STI profile (cached), scheduling
+// hints, and the pair's MTI runs — the worker-side mirror of Fuzzer.Step,
+// writing only to the job-local result.
+func (p *Pool) runJob(jb job) jobResult {
+	res := jobResult{idx: jb.idx, prog: jb.prog}
+	sti := p.env.RunSTICached(jb.prog)
+	res.stiCov = sti.Cov
+	if sti.Crash != nil {
+		res.reports = append(res.reports, jobReport{r: &report.Report{
+			Title:   sti.Crash.Title,
+			Oracle:  sti.Crash.Oracle,
+			OOO:     false,
+			Program: jb.prog.String(),
+		}})
+		return res // crashing input: nothing to pair
+	}
+	for _, s := range sti.Soft {
+		res.reports = append(res.reports, jobReport{r: &report.Report{
+			Title: s, Oracle: "semantic", OOO: false, Program: jb.prog.String(),
+		}})
+	}
+
+	res.mtiCov = make(map[uint64]struct{})
+	pairs := pairOrder(len(jb.prog.Calls))
+	if len(pairs) > p.cfg.MaxPairs {
+		pairs = pairs[:p.cfg.MaxPairs]
+	}
+	for _, pr := range pairs {
+		i, j := pr[0], pr[1]
+		if len(sti.CallEvents[i]) == 0 || len(sti.CallEvents[j]) == 0 {
+			continue
+		}
+		hs := hints.Calculate(sti.CallEvents[i], sti.CallEvents[j])
+		res.hints += uint64(len(hs))
+		orderHints(hs, p.cfg.HintOrder, jb.rng)
+		if len(hs) > p.cfg.MaxHintsPerPair {
+			hs = hs[:p.cfg.MaxHintsPerPair]
+		}
+		for rank, h := range hs {
+			mres := p.env.RunMTI(MTIOpts{Prog: jb.prog, I: i, J: j, Hint: h})
+			res.mtis++
+			if !mres.Fired {
+				res.vacuous++
+			}
+			for e := range mres.Cov {
+				res.mtiCov[e] = struct{}{}
+			}
+			p.harvestJob(&res, jb.prog, i, j, h, rank, mres)
+		}
+	}
+	return res
+}
+
+// harvestJob converts an MTI result into job-local reports — the mirror of
+// Fuzzer.harvest, with Tests counted job-locally (rebased at merge).
+func (p *Pool) harvestJob(res *jobResult, prog *syzlang.Program, i, j int, h *hints.Hint, rank int, mres *MTIResult) {
+	if mres.Crash != nil {
+		ooo := !mres.PrefixCrash
+		if ooo {
+			rerun := p.env.RunMTI(MTIOpts{Prog: prog, I: i, J: j, Hint: h, NoReorder: true})
+			if rerun.Crash != nil && rerun.Crash.Title == mres.Crash.Title {
+				ooo = false
+			}
+		}
+		r := &report.Report{
+			Title:   mres.Crash.Title,
+			Oracle:  mres.Crash.Oracle,
+			OOO:     ooo,
+			Program: prog.String(),
+		}
+		if r.OOO {
+			r.Type = h.Type()
+			r.HypBarrier = fmt.Sprintf("before %s (%s)", modules.SiteName(h.Sched), h.Test)
+			for _, s := range h.Reorder {
+				r.ReorderedSites = append(r.ReorderedSites, modules.SiteName(s))
+			}
+			r.Pair = PairName(prog, i, j)
+			r.HintRank = rank + 1
+			r.Tests = int(res.mtis)
+		}
+		res.reports = append(res.reports, jobReport{r: r, rebaseTests: r.OOO})
+	}
+	for _, s := range mres.Soft {
+		res.reports = append(res.reports, jobReport{r: &report.Report{
+			Title: s, Oracle: "semantic", OOO: true,
+			Type:       h.Type(),
+			HypBarrier: fmt.Sprintf("before %s (%s)", modules.SiteName(h.Sched), h.Test),
+			Pair:       PairName(prog, i, j),
+			Program:    prog.String(),
+			HintRank:   rank + 1,
+			Tests:      int(res.mtis),
+		}, rebaseTests: true})
+	}
+}
+
+// merge folds one step result into the campaign state. Called in strict
+// step-index order; that ordering is what makes coverage novelty, corpus
+// admission, report deduplication, and Tests rebasing deterministic.
+// Caller holds p.mu.
+func (p *Pool) merge(res *jobResult, found *[]*report.Report) {
+	base := p.stats.MTIs
+	p.stats.Steps++
+	p.stats.STIs++
+	p.stats.MTIs += res.mtis
+	p.stats.Hints += res.hints
+	p.stats.Vacuous += res.vacuous
+	if p.Cov.MergeNew(res.stiCov) > 0 {
+		p.stats.NewCov++
+		p.corpus = append(p.corpus, res.prog)
+		p.stats.CorpusLen = len(p.corpus)
+	}
+	if res.mtiCov != nil {
+		p.Cov.MergeNew(res.mtiCov)
+	}
+	for _, jr := range res.reports {
+		if jr.rebaseTests {
+			jr.r.Tests += int(base)
+		}
+		if p.Reports.Add(jr.r) {
+			*found = append(*found, jr.r)
+		}
+	}
+}
+
+// Run executes `steps` campaign steps across the pool's workers and
+// returns the new reports in deterministic discovery order.
+func (p *Pool) Run(steps int) []*report.Report {
+	return p.run(steps, time.Time{})
+}
+
+// RunFor executes whole batches until the wall-clock budget is spent and
+// returns the new reports. The step sequence is the same deterministic
+// sequence Run walks; only where it stops depends on the clock.
+func (p *Pool) RunFor(budget time.Duration) []*report.Report {
+	return p.run(-1, time.Now().Add(budget))
+}
+
+func (p *Pool) run(steps int, deadline time.Time) []*report.Report {
+	if steps == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	if p.start.IsZero() {
+		p.start = time.Now()
+	}
+	p.mu.Unlock()
+
+	jobs := make(chan job, batchSize)
+	results := make(chan jobResult, batchSize)
+	var wg sync.WaitGroup
+	for w := 0; w < p.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				results <- p.runJob(jb)
+			}
+		}()
+	}
+
+	var found []*report.Report
+	remaining := steps
+	for remaining != 0 {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		n := batchSize
+		if remaining > 0 && remaining < n {
+			n = remaining
+		}
+		// Plan the batch against the corpus as of this boundary.
+		p.mu.Lock()
+		batch := make([]job, n)
+		for bi := 0; bi < n; bi++ {
+			batch[bi] = p.planStep(p.steps)
+			p.steps++
+		}
+		p.mu.Unlock()
+		// Execute in parallel; buffer capacities fit a whole batch, so
+		// dispatch can never deadlock against result publication.
+		for _, jb := range batch {
+			jobs <- jb
+		}
+		pending := make(map[uint64]*jobResult, n)
+		for done := 0; done < n; done++ {
+			r := <-results
+			pending[r.idx] = &r
+		}
+		// Merge in step-index order.
+		p.mu.Lock()
+		for _, jb := range batch {
+			p.merge(pending[jb.idx], &found)
+		}
+		p.fillPerf(&p.stats)
+		p.mu.Unlock()
+		if remaining > 0 {
+			remaining -= n
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return found
+}
+
+// orderHints applies the HintOrder configuration knob to a freshly
+// calculated hint list (shared by the serial fuzzer and pool workers).
+func orderHints(hs []*hints.Hint, order string, rng *rand.Rand) {
+	switch order {
+	case "", "heuristic":
+		// Calculate already sorted by the search heuristic.
+	case "reverse":
+		for a, b := 0, len(hs)-1; a < b; a, b = a+1, b-1 {
+			hs[a], hs[b] = hs[b], hs[a]
+		}
+	case "random":
+		rng.Shuffle(len(hs), func(a, b int) { hs[a], hs[b] = hs[b], hs[a] })
+	}
+}
+
+// pairOrder enumerates call pairs (i, j), i < j, adjacent pairs first —
+// concurrency bugs overwhelmingly involve calls operating on the same
+// just-created resource.
+func pairOrder(n int) [][2]int {
+	var pairs [][2]int
+	for d := 1; d < n; d++ {
+		for i := 0; i+d < n; i++ {
+			pairs = append(pairs, [2]int{i, i + d})
+		}
+	}
+	return pairs
+}

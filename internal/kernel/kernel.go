@@ -120,6 +120,32 @@ func New(nrCPU int) *Kernel {
 // NrCPU returns the number of simulated CPUs.
 func (k *Kernel) NrCPU() int { return k.nrCPU }
 
+// Reset returns the kernel to the state New left it in — empty memory,
+// emulator, oracles, coverage, and task/function tables — while retaining
+// the underlying storage, so an executor can recycle one Kernel across
+// independent test executions instead of rebuilding it. The coverage map
+// is replaced (not cleared): callers take ownership of the old one when
+// they capture a run's coverage.
+func (k *Kernel) Reset() {
+	k.Mem.Reset()
+	k.Em.Reset()
+	k.Instrumented = true
+	k.Sanitizers = false
+	k.Lockdep.Reset()
+	k.Cov = make(map[uint64]struct{})
+	k.Soft = nil
+	k.OnAccess = nil
+	k.fns = k.fns[:1]
+	k.fnNames = k.fnNames[:1]
+	for i := range k.tasks {
+		k.tasks[i] = nil
+	}
+	k.tasks = k.tasks[:0]
+	k.nextID = 0
+	k.percpuStride = 0
+	k.rcu = nil
+}
+
 // NewTask creates a simulated kernel task pinned to the given CPU.
 func (k *Kernel) NewTask(cpu int) *Task {
 	t := &Task{

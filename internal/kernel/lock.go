@@ -69,6 +69,14 @@ func NewLockdep() *Lockdep {
 	}
 }
 
+// Reset forgets all learned lock-order edges and held-lock state, returning
+// the validator to its freshly-constructed state (used when a kernel is
+// recycled across independent executions).
+func (l *Lockdep) Reset() {
+	clear(l.edges)
+	clear(l.held)
+}
+
 // BeforeAcquire validates the ordering of an acquisition attempt and records
 // the dependency edges. It crashes the task on (a) AA recursion and (b) a
 // learned ABBA cycle.

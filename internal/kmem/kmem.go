@@ -158,6 +158,27 @@ func New() *Memory {
 	}
 }
 
+// Reset returns the memory to its freshly-constructed state — empty
+// allocator, clean sanitizer state, sanitizing on — while retaining the
+// page storage already allocated, so a recycled Memory serves its next
+// execution without rebuilding pages. A reset Memory is observationally
+// identical to New(): every slot reads 0 and is Unmapped, the bump pointer
+// restarts at heapBase, and the quarantine is empty.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		*p = page{}
+	}
+	m.lastIdx, m.lastPage = 0, nil
+	m.next = heapBase
+	clear(m.objects)
+	for i := range m.quarantine {
+		m.quarantine[i] = nil
+	}
+	m.quarantine = m.quarantine[:0]
+	m.Sanitize = true
+	m.allocs, m.frees = 0, 0
+}
+
 // pageFor returns the page containing addr, allocating it if needed.
 func (m *Memory) pageFor(addr trace.Addr) (*page, int) {
 	word := uint64(addr) / WordSize

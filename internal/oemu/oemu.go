@@ -163,6 +163,9 @@ type OEMU struct {
 	history map[trace.Addr][]histEntry
 
 	threads []*Thread
+	// free holds retired Thread structs (with their maps) for reuse by
+	// NewThread after a Reset, cutting per-execution allocation churn.
+	free []*Thread
 }
 
 // New returns an emulator over the given memory.
@@ -173,8 +176,17 @@ func New(mem *kmem.Memory) *OEMU {
 	}
 }
 
-// NewThread registers a new emulated hardware thread.
+// NewThread registers a new emulated hardware thread, reusing a retired
+// Thread (and its map storage) when one is available.
 func (em *OEMU) NewThread(id int) *Thread {
+	if n := len(em.free); n > 0 {
+		t := em.free[n-1]
+		em.free[n-1] = nil
+		em.free = em.free[:n-1]
+		t.ID = id
+		em.threads = append(em.threads, t)
+		return t
+	}
 	t := &Thread{
 		ID:         id,
 		Dir:        NewDirectives(),
@@ -185,6 +197,33 @@ func (em *OEMU) NewThread(id int) *Thread {
 	}
 	em.threads = append(em.threads, t)
 	return t
+}
+
+// Reset returns the emulator to its freshly-constructed state — clock at
+// zero, empty store history, no registered threads — while retiring the
+// current Thread structs into a freelist for reuse. A reset OEMU behaves
+// identically to New over a reset Memory.
+func (em *OEMU) Reset() {
+	em.clock = 0
+	clear(em.history)
+	for _, t := range em.threads {
+		t.reset()
+		em.free = append(em.free, t)
+	}
+	em.threads = em.threads[:0]
+}
+
+// reset clears all per-thread emulation state while keeping map/slice
+// storage for reuse.
+func (t *Thread) reset() {
+	clear(t.Dir.DelayStore)
+	clear(t.Dir.ReadOld)
+	t.sb = t.sb[:0]
+	clear(t.sbIndex)
+	t.tRmb = 0
+	clear(t.lastCommit)
+	clear(t.seen)
+	t.Log = nil // logs may be retained by reports; do not reuse the array
 }
 
 // Now returns the current logical time. The clock advances on every commit.

@@ -125,6 +125,34 @@ func (p *Program) Clone() *Program {
 	return q
 }
 
+// Key returns a canonical serialization of the program for use as a cache
+// key: two programs produce the same key iff they have the same call
+// sequence with the same constant arguments and resource wiring — exactly
+// the condition under which a deterministic execution environment yields
+// identical results. It is cheaper than String (no assignment prefixes,
+// no formatting verbs) but just as injective.
+func (p *Program) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(p.Calls) * 32)
+	for _, c := range p.Calls {
+		sb.WriteString(c.Def.Name)
+		sb.WriteByte('(')
+		for j, a := range c.Args {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			if a.Res {
+				sb.WriteByte('r')
+				sb.WriteString(strconv.Itoa(a.Ref))
+			} else {
+				sb.WriteString(strconv.FormatUint(a.Val, 16))
+			}
+		}
+		sb.WriteString(")\n")
+	}
+	return sb.String()
+}
+
 // String serializes the program in a syzlang-like text form:
 //
 //	r0 = tls_socket()

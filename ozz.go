@@ -34,6 +34,13 @@ type Config = core.Config
 // Fuzzer is the OZZ fuzzing loop.
 type Fuzzer = core.Fuzzer
 
+// Pool is the parallel campaign executor: N workers over a shared
+// environment, deterministic in the campaign seed at any worker count.
+type Pool = core.Pool
+
+// Stats counts campaign work (with the Perf throughput/reuse block).
+type Stats = core.Stats
+
 // Env is an execution environment over the simulated kernel.
 type Env = core.Env
 
@@ -52,6 +59,10 @@ type BugSet = modules.BugSet
 
 // NewFuzzer builds a fuzzer.
 func NewFuzzer(cfg Config) *Fuzzer { return core.NewFuzzer(cfg) }
+
+// NewPool builds a parallel campaign executor (workers <= 0 selects
+// GOMAXPROCS).
+func NewPool(cfg Config, workers int) *Pool { return core.NewPool(cfg, workers) }
 
 // NewEnv builds an execution environment for the named modules with the
 // given bug switches.
@@ -82,6 +93,9 @@ var (
 	FormatTable4 = bench.FormatTable4
 	// MeasureThroughput regenerates the §6.3.2 comparison.
 	MeasureThroughput = bench.MeasureThroughput
+	// MeasureThroughputWorkers adds the worker-scaling rows (tests/s at
+	// each requested Pool width) to the §6.3.2 comparison.
+	MeasureThroughputWorkers = bench.MeasureThroughputWorkers
 	// RunHeuristic regenerates the §4.3 hint-rank validation.
 	RunHeuristic = bench.RunHeuristic
 	// FormatHeuristic renders it.
