@@ -1,0 +1,281 @@
+package ozz
+
+// Engine conformance suite: a fixed (seed, program, bug-set) matrix run
+// through every execution strategy — OZZ's hypothetical-barrier OOO
+// executor, the sequential syzkaller baseline, the interleaving-only
+// baseline, and the KCSAN watchpoint detector — asserting that crash
+// titles, coverage signatures, report-dedup counts, and per-run outcomes
+// are byte-identical to the golden outputs captured before the execution
+// paths were unified behind internal/engine. Any behavioral drift in the
+// engine layer (kernel lifecycle, task spawning, crash recovery, stage
+// structure, RNG streams) shows up here as a golden mismatch.
+//
+// Regenerate goldens with:
+//
+//	OZZ_UPDATE_GOLDEN=1 go test -run TestEngineConformance .
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ozz/internal/baseline/inorder"
+	"ozz/internal/baseline/kcsan"
+	"ozz/internal/core"
+	"ozz/internal/hints"
+	"ozz/internal/modules"
+)
+
+const goldenPath = "testdata/engine_golden.json"
+
+// mtiOutcome is the signature of one hypothetical-barrier MTI run.
+type mtiOutcome struct {
+	Title     string `json:"title"` // crash title, "" if none
+	Fired     bool   `json:"fired"`
+	Reordered int    `json:"reordered"`
+	CovEdges  int    `json:"cov_edges"`
+}
+
+// oooFixture captures the OOO strategy over one (bug, program) pair: the
+// STI profile signature plus every Algorithm-1 hint's MTI outcome.
+type oooFixture struct {
+	STICovEdges int          `json:"sti_cov_edges"`
+	STIEvents   []int        `json:"sti_events"` // per-call profiled event counts
+	STIReturns  []uint64     `json:"sti_returns"`
+	Hints       int          `json:"hints"`
+	MTIs        []mtiOutcome `json:"mtis"`
+}
+
+// campaignFixture captures a whole fuzzing campaign: deduplicated findings
+// and the deterministic work counters.
+type campaignFixture struct {
+	Titles    []string `json:"titles"` // sorted unique crash titles
+	OOOCount  int      `json:"ooo_count"`
+	Reports   int      `json:"reports"` // dedup count
+	CovEdges  int      `json:"cov_edges"`
+	Steps     uint64   `json:"steps"`
+	STIs      uint64   `json:"stis"`
+	MTIs      uint64   `json:"mtis"`
+	Hints     uint64   `json:"hints"`
+	Vacuous   uint64   `json:"vacuous"`
+	NewCov    uint64   `json:"new_cov"`
+	CorpusLen int      `json:"corpus_len"`
+}
+
+type golden struct {
+	// OOO strategy: store-barrier and load-barrier hypothetical tests.
+	OOOStore oooFixture `json:"ooo_store"`
+	OOOLoad  oooFixture `json:"ooo_load"`
+	// Sequential strategy: the syzkaller baseline over the full OOO corpus
+	// finds nothing.
+	SeqExecs  uint64   `json:"seq_execs"`
+	SeqTitles []string `json:"seq_titles"`
+	// Interleave strategy: blind to OOO bugs, finds the plain UAF race.
+	InterleaveOOOTitles []string `json:"interleave_ooo_titles"`
+	InterleaveUAFTitles []string `json:"interleave_uaf_titles"`
+	InterleaveExecs     uint64   `json:"interleave_execs"`
+	// KCSAN strategy: the three §7 scenarios.
+	KCSANPlainTitles     []string `json:"kcsan_plain_titles"`
+	KCSANAnnotatedTitles []string `json:"kcsan_annotated_titles"`
+	KCSANBitlockTitles   []string `json:"kcsan_bitlock_titles"`
+	// Full campaigns through the serial fuzzer and the parallel pool.
+	Fuzzer campaignFixture `json:"fuzzer"`
+	Pool   campaignFixture `json:"pool"`
+}
+
+func captureOOO(t *testing.T, bugSwitch, progSrc string, pairI, pairJ int) oooFixture {
+	t.Helper()
+	mods := []string{modsOf(t, bugSwitch)}
+	env := core.NewEnv(mods, modules.Bugs(bugSwitch))
+	target := modules.Target(mods...)
+	p, err := target.Parse(progSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fx := oooFixture{}
+	sti := env.RunSTI(p)
+	if sti.Crash != nil {
+		t.Fatalf("sequential crash: %v", sti.Crash)
+	}
+	fx.STICovEdges = len(sti.Cov)
+	for _, evs := range sti.CallEvents {
+		fx.STIEvents = append(fx.STIEvents, len(evs))
+	}
+	fx.STIReturns = append(fx.STIReturns, sti.Returns...)
+	hs := hints.Calculate(sti.CallEvents[pairI], sti.CallEvents[pairJ])
+	fx.Hints = len(hs)
+	for _, h := range hs {
+		res := env.RunMTI(core.MTIOpts{Prog: p, I: pairI, J: pairJ, Hint: h})
+		o := mtiOutcome{Fired: res.Fired, Reordered: res.Reordered, CovEdges: len(res.Cov)}
+		if res.Crash != nil {
+			o.Title = res.Crash.Title
+		}
+		fx.MTIs = append(fx.MTIs, o)
+	}
+	return fx
+}
+
+func modsOf(t *testing.T, bugSwitch string) string {
+	t.Helper()
+	b, ok := modules.FindBug(bugSwitch)
+	if !ok {
+		t.Fatalf("unknown bug switch %q", bugSwitch)
+	}
+	return b.Module
+}
+
+func allOOOSwitches() []string {
+	var switches []string
+	for _, b := range modules.AllBugs() {
+		if b.Switch != "sbitmap:migration_assist" {
+			switches = append(switches, b.Switch)
+		}
+	}
+	return switches
+}
+
+func campaignConfig() core.Config {
+	return core.Config{Bugs: modules.Bugs(allOOOSwitches()...), Seed: 1, UseSeeds: true}
+}
+
+func captureCampaignStats(s core.Stats, titles []string, ooo, reports, cov int) campaignFixture {
+	sort.Strings(titles)
+	return campaignFixture{
+		Titles: titles, OOOCount: ooo, Reports: reports, CovEdges: cov,
+		Steps: s.Steps, STIs: s.STIs, MTIs: s.MTIs, Hints: s.Hints,
+		Vacuous: s.Vacuous, NewCov: s.NewCov, CorpusLen: s.CorpusLen,
+	}
+}
+
+func capture(t *testing.T) golden {
+	t.Helper()
+	var g golden
+
+	// --- OOO: Fig. 1 store-barrier and load-barrier tests.
+	const wqProg = "r0 = wq_create()\nwq_post_notification(r0, 0x4)\nwq_pipe_read(r0)\n"
+	g.OOOStore = captureOOO(t, "watchqueue:pipe_wmb", wqProg, 1, 2)
+	g.OOOLoad = captureOOO(t, "watchqueue:pipe_rmb", wqProg, 1, 2)
+
+	// --- Sequential: syzkaller over the whole buggy corpus.
+	sz := inorder.NewSyzkaller(nil, modules.Bugs(allOOOSwitches()...), 1)
+	for i := 0; i < 120; i++ {
+		sz.Step()
+	}
+	g.SeqExecs = sz.Execs
+	g.SeqTitles = append([]string{}, sz.Reports.Titles()...)
+
+	// --- Interleave: blind to the Fig. 1 OOO bug, finds the plain UAF.
+	ivOOO := inorder.NewInterleaver([]string{"watchqueue"},
+		modules.Bugs("watchqueue:pipe_wmb", "watchqueue:pipe_rmb"), 1)
+	wqTarget := modules.Target("watchqueue")
+	wp, err := wqTarget.Parse(wqProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.InterleaveOOOTitles = append([]string{}, ivOOO.Hunt(wp, 60)...)
+
+	ivUAF := inorder.NewInterleaver([]string{"vmci"}, modules.Bugs("vmci:uaf_race"), 2)
+	vmciTarget := modules.Target("vmci")
+	vp, err := vmciTarget.Parse("r0 = vmci_create()\nvmci_qp_alloc(r0, 0x10)\nvmci_qp_wait(r0)\nvmci_qp_destroy(r0)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.InterleaveUAFTitles = append([]string{}, ivUAF.Hunt(vp, 60)...)
+	g.InterleaveExecs = ivUAF.Execs
+
+	// --- KCSAN: the §7 scenarios (plain race / annotated race / bit lock).
+	kcsanTitles := func(mod, sw, src string, seed int64) []string {
+		d := kcsan.New([]string{mod}, modules.Bugs(sw), seed)
+		target := modules.Target(mod)
+		p, err := target.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append([]string{}, d.Hunt(p, 80)...)
+	}
+	g.KCSANPlainTitles = kcsanTitles("gsm", "gsm:dlci_config_rmb",
+		"r0 = gsm_open()\ngsm_activate(r0, 0x0)\ngsm_dlci_config(r0, 0x0, 0x200)\n", 1)
+	g.KCSANAnnotatedTitles = kcsanTitles("tls", "tls:sk_prot_wmb",
+		"r0 = tls_socket()\ntls_init(r0)\nsock_setsockopt(r0, 0x1)\n", 2)
+	g.KCSANBitlockTitles = kcsanTitles("rds", "rds:clear_bit_unlock",
+		"r0 = rds_socket()\nrds_sendmsg(r0, 0x4)\nrds_sendmsg(r0, 0x3)\nrds_loop_xmit(r0)\n", 3)
+
+	// --- Full campaign, serial fuzzer.
+	f := core.NewFuzzer(campaignConfig())
+	f.Run(60)
+	ooo := 0
+	for _, r := range f.Reports.All() {
+		if r.OOO {
+			ooo++
+		}
+	}
+	g.Fuzzer = captureCampaignStats(f.Stats,
+		append([]string{}, f.Reports.Titles()...), ooo, f.Reports.Len(), f.CoverageEdges())
+
+	// --- Full campaign, parallel pool (4 workers; deterministic in seed).
+	pl := core.NewPool(campaignConfig(), 4)
+	pl.Run(64)
+	ps := pl.Stats()
+	ps.Perf = core.PerfStats{} // timing block is nondeterministic
+	pooo := 0
+	for _, r := range pl.Reports.All() {
+		if r.OOO {
+			pooo++
+		}
+	}
+	g.Pool = captureCampaignStats(ps,
+		append([]string{}, pl.Reports.Titles()...), pooo, pl.Reports.Len(), pl.CoverageEdges())
+
+	return g
+}
+
+// TestEngineConformance runs the strategy matrix and compares against the
+// pre-refactor golden outputs.
+func TestEngineConformance(t *testing.T) {
+	got := capture(t)
+
+	if os.Getenv("OZZ_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(&got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden missing (run with OZZ_UPDATE_GOLDEN=1 to capture): %v", err)
+	}
+	var want golden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("golden decode: %v", err)
+	}
+
+	check := func(name string, gotV, wantV any) {
+		if !reflect.DeepEqual(gotV, wantV) {
+			t.Errorf("%s drifted from pre-refactor golden:\n got: %+v\nwant: %+v", name, gotV, wantV)
+		}
+	}
+	check("ooo_store", got.OOOStore, want.OOOStore)
+	check("ooo_load", got.OOOLoad, want.OOOLoad)
+	check("seq_execs", got.SeqExecs, want.SeqExecs)
+	check("seq_titles", got.SeqTitles, want.SeqTitles)
+	check("interleave_ooo_titles", got.InterleaveOOOTitles, want.InterleaveOOOTitles)
+	check("interleave_uaf_titles", got.InterleaveUAFTitles, want.InterleaveUAFTitles)
+	check("interleave_execs", got.InterleaveExecs, want.InterleaveExecs)
+	check("kcsan_plain_titles", got.KCSANPlainTitles, want.KCSANPlainTitles)
+	check("kcsan_annotated_titles", got.KCSANAnnotatedTitles, want.KCSANAnnotatedTitles)
+	check("kcsan_bitlock_titles", got.KCSANBitlockTitles, want.KCSANBitlockTitles)
+	check("fuzzer_campaign", got.Fuzzer, want.Fuzzer)
+	check("pool_campaign", got.Pool, want.Pool)
+}

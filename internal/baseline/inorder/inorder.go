@@ -10,15 +10,20 @@
 //     It finds ordinary atomicity races but CANNOT observe memory-access
 //     reordering, so OOO bugs stay invisible to it (§2.3) — every memory
 //     access commits in order regardless of the schedule.
+//
+// Both are thin strategies over the shared execution engine
+// (internal/engine): the kernel lifecycle, pooling/recycling, task
+// spawning, and crash recovery are the engine's — only the scheduling
+// policy differs.
 package inorder
 
 import (
 	"math/rand"
 
+	"ozz/internal/engine"
 	"ozz/internal/kernel"
 	"ozz/internal/modules"
 	"ozz/internal/report"
-	"ozz/internal/sched"
 	"ozz/internal/syzlang"
 )
 
@@ -29,8 +34,10 @@ type Syzkaller struct {
 	Seed    int64
 	ProgLen int
 
-	target  *syzlang.Target
-	rng     *rand.Rand
+	target *syzlang.Target
+	rng    *rand.Rand
+	eng    *engine.Engine
+
 	Reports *report.Set
 	// Execs counts executed programs (the throughput unit).
 	Execs uint64
@@ -45,6 +52,7 @@ func NewSyzkaller(mods []string, bugs modules.BugSet, seed int64) *Syzkaller {
 		ProgLen: 4,
 		target:  modules.Target(mods...),
 		rng:     rand.New(rand.NewSource(seed)),
+		eng:     engine.New(),
 		Reports: report.NewSet(),
 	}
 }
@@ -58,38 +66,27 @@ func (s *Syzkaller) Step() {
 
 // Exec runs one program and records crashes.
 func (s *Syzkaller) Exec(p *syzlang.Program) {
-	k := kernel.New(4)
-	k.Instrumented = false
-	k.Sanitizers = true // a syzkaller kernel still has KASAN + KCov
-	impls := modules.Build(k, s.Bugs, s.Modules...)
-	returns := make([]uint64, len(p.Calls))
-	task := k.NewTask(0)
-	session := sched.NewSession(sched.Sequential{})
-	session.Spawn(0, 0, func(st *sched.Task) {
-		task.Bind(st)
-		for ci := range p.Calls {
-			c := &p.Calls[ci]
-			args := make([]uint64, len(c.Args))
-			for i, a := range c.Args {
-				if a.Res {
-					args[i] = returns[a.Ref]
-				} else {
-					args[i] = a.Val
-				}
-			}
-			if impl := impls[c.Def.Name]; impl != nil {
-				returns[ci] = impl(task, args)
-				task.SyscallReturn()
-			}
-		}
-	})
-	if aborted := session.Run(); aborted != nil {
-		if c, ok := aborted.(*kernel.Crash); ok {
-			s.Reports.Add(&report.Report{Title: c.Title, Oracle: c.Oracle, Program: p.String()})
-		}
+	cfg := engine.Config{
+		Modules:    s.Modules,
+		Bugs:       s.Bugs,
+		Sanitizers: true, // a syzkaller kernel still has KASAN + KCov
+	}
+	res := s.eng.Run(cfg, engine.Sequential{}, engine.Request{Prog: p})
+	if res.Crash != nil {
+		s.Reports.Add(&report.Report{Title: res.Crash.Title, Oracle: res.Crash.Oracle, Program: p.String()})
 	}
 	s.Execs++
 }
+
+// KernelCounters reports pooled-kernel reuse: acquisitions recycled from
+// the engine's pool vs. built fresh.
+func (s *Syzkaller) KernelCounters() (recycled, built uint64) {
+	return s.eng.KernelCounters()
+}
+
+// RecycleRate is the fraction of executions that reused a pooled kernel —
+// the same reuse metric core.Env campaigns report.
+func (s *Syzkaller) RecycleRate() float64 { return s.eng.RecycleRate() }
 
 // Interleaver is the interleaving-only concurrency fuzzer baseline.
 type Interleaver struct {
@@ -97,8 +94,10 @@ type Interleaver struct {
 	Bugs    modules.BugSet
 	Seed    int64
 
-	target  *syzlang.Target
-	rng     *rand.Rand
+	target *syzlang.Target
+	rng    *rand.Rand
+	eng    *engine.Engine
+
 	Reports *report.Set
 	Execs   uint64
 }
@@ -111,6 +110,7 @@ func NewInterleaver(mods []string, bugs modules.BugSet, seed int64) *Interleaver
 		Seed:    seed,
 		target:  modules.Target(mods...),
 		rng:     rand.New(rand.NewSource(seed)),
+		eng:     engine.New(),
 		Reports: report.NewSet(),
 	}
 }
@@ -121,56 +121,18 @@ func NewInterleaver(mods []string, bugs modules.BugSet, seed int64) *Interleaver
 // point) but no OEMU directives are ever installed, so memory stays
 // sequentially consistent.
 func (iv *Interleaver) ExecPair(p *syzlang.Program, i, j int, scheduleSeed int64) *kernel.Crash {
-	k := kernel.New(4)
-	impls := modules.Build(k, iv.Bugs, iv.Modules...)
-	returns := make([]uint64, len(p.Calls))
-
-	runCall := func(task *kernel.Task, ci int) {
-		c := &p.Calls[ci]
-		args := make([]uint64, len(c.Args))
-		for ai, a := range c.Args {
-			if a.Res {
-				args[ai] = returns[a.Ref]
-			} else {
-				args[ai] = a.Val
-			}
-		}
-		if impl := impls[c.Def.Name]; impl != nil {
-			returns[ci] = impl(task, args)
-			task.SyscallReturn()
-		}
+	cfg := engine.Config{
+		Modules:      iv.Modules,
+		Bugs:         iv.Bugs,
+		Instrumented: true,
 	}
-
-	// Sequential prefix.
-	pre := k.NewTask(0)
-	s1 := sched.NewSession(sched.Sequential{})
-	s1.Spawn(0, 0, func(st *sched.Task) {
-		pre.Bind(st)
-		for ci := 0; ci < j; ci++ {
-			if ci != i {
-				runCall(pre, ci)
-			}
-		}
-	})
-	if aborted := s1.Run(); aborted != nil {
-		if c, ok := aborted.(*kernel.Crash); ok {
-			return c
-		}
-		return nil
+	res := iv.eng.Run(cfg, engine.Interleave{}, engine.Request{Prog: p, I: i, J: j, Seed: scheduleSeed})
+	// Executions that die in the sequential prefix never reach the
+	// concurrent stage and do not count toward pair throughput.
+	if !res.PrefixCrash {
+		iv.Execs++
 	}
-
-	// Concurrent pair under a random schedule.
-	ta, tb := k.NewTask(1), k.NewTask(2)
-	s2 := sched.NewSession(&sched.Random{Seed: scheduleSeed, Period: 2})
-	s2.Spawn(1, 1, func(st *sched.Task) { ta.Bind(st); runCall(ta, i) })
-	s2.Spawn(2, 2, func(st *sched.Task) { tb.Bind(st); runCall(tb, j) })
-	iv.Execs++
-	if aborted := s2.Run(); aborted != nil {
-		if c, ok := aborted.(*kernel.Crash); ok {
-			return c
-		}
-	}
-	return nil
+	return res.Crash
 }
 
 // Hunt runs `rounds` random schedules of every adjacent pair of the
@@ -187,3 +149,12 @@ func (iv *Interleaver) Hunt(p *syzlang.Program, rounds int) []string {
 	}
 	return iv.Reports.Titles()
 }
+
+// KernelCounters reports pooled-kernel reuse: acquisitions recycled from
+// the engine's pool vs. built fresh.
+func (iv *Interleaver) KernelCounters() (recycled, built uint64) {
+	return iv.eng.KernelCounters()
+}
+
+// RecycleRate is the fraction of executions that reused a pooled kernel.
+func (iv *Interleaver) RecycleRate() float64 { return iv.eng.RecycleRate() }

@@ -27,6 +27,16 @@ func TestSyzkallerFindsNoOOOBugs(t *testing.T) {
 	if s.Execs != 300 {
 		t.Fatalf("execs = %d", s.Execs)
 	}
+	// The baseline shares the engine's kernel recycler, like core.Env
+	// campaigns do. The threshold is loose because sync.Pool sheds
+	// entries on GC and randomly drops ~25% of puts under -race.
+	recycled, built := s.KernelCounters()
+	if recycled == 0 {
+		t.Fatalf("kernel pool never recycled (recycled=%d built=%d)", recycled, built)
+	}
+	if rate := s.RecycleRate(); rate < 0.5 {
+		t.Fatalf("recycle rate = %v, want > 0.5", rate)
+	}
 }
 
 // TestInterleaverBlindToOOOBugs is §2.3's central claim: controlling thread
@@ -66,6 +76,15 @@ func TestInterleaverFindsPlainRace(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("interleaving baseline missed the plain UAF race: %v", titles)
+	}
+	// Pooled kernels for the pair executor too (loose threshold: see
+	// TestSyzkallerFindsNoOOOBugs).
+	recycled, built := iv.KernelCounters()
+	if recycled == 0 {
+		t.Fatalf("kernel pool never recycled (recycled=%d built=%d)", recycled, built)
+	}
+	if rate := iv.RecycleRate(); rate < 0.5 {
+		t.Fatalf("recycle rate = %v, want > 0.5", rate)
 	}
 }
 

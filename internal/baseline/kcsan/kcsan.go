@@ -10,12 +10,18 @@
 //     silenced KCSAN while leaving the OOO bug in place;
 //   - it never reorders anything, so bugs with NO data race (the Fig. 8
 //     bit-lock, whose accesses are all atomic) are invisible to it.
+//
+// The detector is an engine.Strategy implemented OUTSIDE internal/engine:
+// it plugs its watchpoint sampler into the shared execution engine as an
+// OnAccess observer plus a random schedule policy, demonstrating that new
+// detectors need no private copy of the kernel-lifecycle loop.
 package kcsan
 
 import (
 	"fmt"
 	"math/rand"
 
+	"ozz/internal/engine"
 	"ozz/internal/kernel"
 	"ozz/internal/modules"
 	"ozz/internal/sched"
@@ -45,12 +51,14 @@ type Detector struct {
 	SampleEvery int
 	Seed        int64
 
+	eng *engine.Engine
+
 	Races []*Race
 }
 
 // New builds a detector.
 func New(mods []string, bugs modules.BugSet, seed int64) *Detector {
-	return &Detector{Modules: mods, Bugs: bugs, SampleEvery: 3, Seed: seed}
+	return &Detector{Modules: mods, Bugs: bugs, SampleEvery: 3, Seed: seed, eng: engine.New()}
 }
 
 // watchpoint is the active watch, if any.
@@ -68,15 +76,25 @@ type watchpoint struct {
 // atomic, acquire/release): marked accesses do not race.
 func marked(a trace.Atomicity) bool { return a != trace.Plain }
 
-// RunPair executes calls i and j of the program concurrently (prefix first,
-// like the other executors) with watchpoint sampling active, and appends
-// any detected races. Detection is independent of OEMU: the kernel runs
-// fully in order.
-func (d *Detector) RunPair(p *syzlang.Program, i, j int, round int64) {
-	k := kernel.New(4)
-	impls := modules.Build(k, d.Bugs, d.Modules...)
-	returns := make([]uint64, len(p.Calls))
-	rng := rand.New(rand.NewSource(d.Seed ^ round))
+// Strategy is the KCSAN engine strategy for one sampled pair run: Attach
+// installs the watchpoint sampler as the kernel's OnAccess observer, and
+// Pair schedules the concurrent stage under a seeded random policy.
+type Strategy struct {
+	// Detector receives detected races.
+	Detector *Detector
+	// Round salts the sampling and scheduling streams so every pair run
+	// draws an independent (but reproducible) sequence.
+	Round int64
+}
+
+// Name implements engine.Strategy.
+func (s *Strategy) Name() string { return "kcsan" }
+
+// Attach implements engine.Strategy: it installs the watchpoint sampler.
+// The sampling stream is drawn fresh per run from (Seed, Round).
+func (s *Strategy) Attach(k *kernel.Kernel, _ *engine.Request) {
+	d := s.Detector
+	rng := rand.New(rand.NewSource(d.Seed ^ s.Round))
 
 	var wp *watchpoint
 	sampleCountdown := 1 + rng.Intn(d.SampleEvery)
@@ -123,42 +141,31 @@ func (d *Detector) RunPair(p *syzlang.Program, i, j int, round int64) {
 		}
 		wp = nil
 	}
+}
 
-	runCall := func(task *kernel.Task, ci int) {
-		c := &p.Calls[ci]
-		args := make([]uint64, len(c.Args))
-		for ai, a := range c.Args {
-			if a.Res {
-				args[ai] = returns[a.Ref]
-			} else {
-				args[ai] = a.Val
-			}
-		}
-		if impl := impls[c.Def.Name]; impl != nil {
-			returns[ci] = impl(task, args)
-			task.SyscallReturn()
-		}
+// Pair implements engine.Strategy: calls I and J run concurrently under
+// a random schedule salted by the round. No suffix stage — detection is
+// complete once the pair finishes.
+func (s *Strategy) Pair(_ *engine.Config, req *engine.Request) *engine.PairPlan {
+	return &engine.PairPlan{
+		Policy: &sched.Random{Seed: s.Detector.Seed ^ s.Round ^ 0x5eed, Period: 3},
+		CallA:  req.I,
+		CallB:  req.J,
 	}
+}
 
-	pre := k.NewTask(0)
-	s1 := sched.NewSession(sched.Sequential{})
-	s1.Spawn(0, 0, func(st *sched.Task) {
-		pre.Bind(st)
-		for ci := 0; ci < j; ci++ {
-			if ci != i {
-				runCall(pre, ci)
-			}
-		}
-	})
-	if s1.Run() != nil {
-		return
+// RunPair executes calls i and j of the program concurrently (prefix first,
+// like the other executors) with watchpoint sampling active, and appends
+// any detected races. Detection is independent of OEMU: the kernel runs
+// fully in order; crashes under KCSAN runs are possible but not its
+// product, so the run result is discarded.
+func (d *Detector) RunPair(p *syzlang.Program, i, j int, round int64) {
+	cfg := engine.Config{
+		Modules:      d.Modules,
+		Bugs:         d.Bugs,
+		Instrumented: true,
 	}
-
-	ta, tb := k.NewTask(1), k.NewTask(2)
-	s2 := sched.NewSession(&sched.Random{Seed: d.Seed ^ round ^ 0x5eed, Period: 3})
-	s2.Spawn(1, 1, func(st *sched.Task) { ta.Bind(st); runCall(ta, i) })
-	s2.Spawn(2, 2, func(st *sched.Task) { tb.Bind(st); runCall(tb, j) })
-	s2.Run() // crashes under KCSAN runs are possible but not its product
+	d.eng.Run(cfg, &Strategy{Detector: d, Round: round}, engine.Request{Prog: p, I: i, J: j})
 }
 
 // Hunt samples every adjacent pair for `rounds` rounds and returns the
@@ -182,3 +189,12 @@ func (d *Detector) Hunt(p *syzlang.Program, rounds int) []string {
 	}
 	return titles
 }
+
+// KernelCounters reports pooled-kernel reuse: acquisitions recycled from
+// the engine's pool vs. built fresh.
+func (d *Detector) KernelCounters() (recycled, built uint64) {
+	return d.eng.KernelCounters()
+}
+
+// RecycleRate is the fraction of executions that reused a pooled kernel.
+func (d *Detector) RecycleRate() float64 { return d.eng.RecycleRate() }

@@ -22,6 +22,17 @@ func TestKCSANFindsPlainRace(t *testing.T) {
 	if len(titles) == 0 {
 		t.Fatal("KCSAN found no race on plainly racing accesses")
 	}
+	// The detector runs on the shared engine, so the hunt's pair runs
+	// are served by the kernel recycler. The threshold is loose because
+	// sync.Pool sheds entries on GC and randomly drops ~25% of puts
+	// under -race.
+	recycled, built := d.KernelCounters()
+	if recycled == 0 {
+		t.Fatalf("kernel pool never recycled (recycled=%d built=%d)", recycled, built)
+	}
+	if rate := d.RecycleRate(); rate < 0.5 {
+		t.Fatalf("recycle rate = %v, want > 0.5", rate)
+	}
 }
 
 // TestKCSANSilencedByAnnotation is the paper's Case Study 1 (Bug #9):

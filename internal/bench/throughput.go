@@ -23,6 +23,13 @@ type ThroughputResult struct {
 	// OzzMTIsPerProgram reports how much extra work each OZZ "test"
 	// carries (hypothetical-barrier executions per program).
 	OzzMTIsPerProgram float64
+	// SyzkallerRecycleRate is the baseline's pooled-kernel reuse rate —
+	// now that both sides run on the shared engine, the comparison is
+	// apples-to-apples on kernel-lifecycle cost too.
+	SyzkallerRecycleRate float64
+	// OzzRecycleRate is OZZ's pooled-kernel reuse rate over the same
+	// measurement window.
+	OzzRecycleRate float64
 	// Parallel holds the worker-scaling rows (Pool executor at each
 	// requested worker count); empty when only the serial comparison was
 	// measured.
@@ -71,6 +78,8 @@ func MeasureThroughputWorkers(budget time.Duration, mods []string, bugs modules.
 	res := ThroughputResult{
 		SyzkallerTestsPerSec: szRate,
 		OzzTestsPerSec:       ozzRate,
+		SyzkallerRecycleRate: sz.RecycleRate(),
+		OzzRecycleRate:       f.Snapshot().Perf.RecycleRate(),
 	}
 	if ozzRate > 0 {
 		res.Slowdown = szRate / ozzRate
@@ -102,9 +111,10 @@ func MeasureThroughputWorkers(budget time.Duration, mods []string, bugs modules.
 func (r ThroughputResult) Format() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb,
-		"syzkaller baseline: %8.1f tests/s\n"+
-			"OZZ:                %8.1f tests/s  (%.1fx slower; %.1f hypothetical-barrier runs per program)\n",
-		r.SyzkallerTestsPerSec, r.OzzTestsPerSec, r.Slowdown, r.OzzMTIsPerProgram)
+		"syzkaller baseline: %8.1f tests/s  (kernel-pool %.0f%% recycled)\n"+
+			"OZZ:                %8.1f tests/s  (%.1fx slower; %.1f hypothetical-barrier runs per program; kernel-pool %.0f%% recycled)\n",
+		r.SyzkallerTestsPerSec, 100*r.SyzkallerRecycleRate,
+		r.OzzTestsPerSec, r.Slowdown, r.OzzMTIsPerProgram, 100*r.OzzRecycleRate)
 	for _, row := range r.Parallel {
 		fmt.Fprintf(&sb, "OZZ (%2d workers):   %8.1f tests/s  (%.2fx vs 1 worker)\n",
 			row.Workers, row.TestsPerSec, row.Speedup)

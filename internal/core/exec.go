@@ -3,249 +3,104 @@
 // computes scheduling hints by the hypothetical memory barrier test, and
 // executes multi-threaded inputs under the deterministic scheduler with
 // OEMU reordering directives, watching the kernel's bug oracles.
+//
+// Execution itself lives in internal/engine; this package drives the
+// engine with the OOO strategy and layers the fuzzing workflow (hint
+// search, corpus, triage, reports) on top.
 package core
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
-	"ozz/internal/hints"
-	"ozz/internal/kernel"
+	"ozz/internal/engine"
 	"ozz/internal/modules"
-	"ozz/internal/oemu"
-	"ozz/internal/sched"
 	"ozz/internal/syzlang"
-	"ozz/internal/trace"
 )
 
 // Env is the execution environment: which modules are loaded and which bug
-// switches are active. Every execution builds a fresh kernel from it, so
-// runs are independent and deterministic. An Env is safe for concurrent use
-// by multiple executor goroutines once configured: the configuration fields
-// are read-only during execution, and the kernel recycler and STI profile
-// cache below are internally synchronized.
+// switches are active, driving the shared engine with OZZ's OOO strategy.
+// Every execution builds a fresh (or pool-recycled) kernel, so runs are
+// independent and deterministic. An Env is safe for concurrent use by
+// multiple executor goroutines once configured: the configuration fields
+// are read-only during execution, and the engine's kernel recycler and
+// STI profile cache are internally synchronized.
 type Env struct {
 	// Modules lists the loaded modules (empty = all registered).
 	Modules []string
 	// Bugs holds the active bug switches (missing barriers).
 	Bugs modules.BugSet
-	// NrCPU is the simulated CPU count (default 4, like the paper's VMs).
+	// NrCPU is the simulated CPU count; 0 selects the engine default (4,
+	// like the paper's VMs).
 	NrCPU int
 	// Instrumented selects the OEMU path (default true). The throughput
 	// baseline (§6.3.2) runs uninstrumented.
 	Instrumented bool
 	// InterruptOnSwitch injects an interrupt on the reorderer's CPU at
-	// the scheduling point of every MTI. Interrupts drain the virtual
-	// store buffer (§3.1), so store-barrier tests become vacuous — the
-	// ablation demonstrating why OZZ's custom scheduler must suspend
-	// vCPUs WITHOUT delivering interrupts.
+	// the scheduling point of every MTI — the ablation demonstrating why
+	// OZZ's custom scheduler must suspend vCPUs WITHOUT delivering
+	// interrupts (interrupts drain the virtual store buffer, §3.1).
 	InterruptOnSwitch bool
 
-	// kpool recycles kernel instances across executions: Reset on a used
-	// kernel is much cheaper than rebuilding memory pages, emulator maps,
-	// and allocator state from scratch. sync.Pool is concurrency-safe, so
-	// parallel campaign workers share one recycler.
-	kpool sync.Pool
-	// recycled/built count kernel acquisitions served from the pool vs.
-	// constructed fresh (the pool recycle-rate metric).
-	recycled, built atomic.Uint64
-
-	// sti is the STI profile cache (see cache.go).
-	sti stiCache
+	eng *engine.Engine
 }
 
-// NewEnv returns an instrumented 4-vCPU environment.
+// NewEnv returns an instrumented environment over a fresh engine.
 func NewEnv(mods []string, bugs modules.BugSet) *Env {
-	return &Env{Modules: mods, Bugs: bugs, NrCPU: 4, Instrumented: true}
+	return &Env{Modules: mods, Bugs: bugs, Instrumented: true, eng: engine.New()}
 }
 
-// newKernel acquires a kernel — recycled from the pool when possible —
-// and builds the configured modules over it. The result is identical to a
-// freshly-constructed kernel: Reset restores every observable property
-// (memory content, sanitizer state, emulator clock, site tables).
-func (e *Env) newKernel() (*kernel.Kernel, map[string]modules.Impl) {
-	n := e.NrCPU
-	if n == 0 {
-		n = 4
-	}
-	var k *kernel.Kernel
-	if v := e.kpool.Get(); v != nil {
-		k = v.(*kernel.Kernel)
-		k.Reset()
-		e.recycled.Add(1)
-	} else {
-		k = kernel.New(n)
-		e.built.Add(1)
-	}
-	k.Instrumented = e.Instrumented
-	impls := modules.Build(k, e.Bugs, e.Modules...)
-	return k, impls
-}
+// Engine exposes the underlying execution engine (recycler + cache).
+func (e *Env) Engine() *engine.Engine { return e.eng }
 
-// release returns a kernel to the recycler once an execution has finished
-// with it. Callers must first take ownership of any kernel state they hand
-// out in results (Cov, Soft): Reset replaces those rather than mutating
-// them, so already-captured maps stay valid.
-func (e *Env) release(k *kernel.Kernel) {
-	e.kpool.Put(k)
+// config snapshots the environment's mutable fields into an engine
+// config. Built per call so post-construction field writes (tests, the
+// fuzzer's ablation knobs) never race with in-flight executions.
+func (e *Env) config() engine.Config {
+	return engine.Config{
+		Modules:           e.Modules,
+		Bugs:              e.Bugs,
+		NrCPU:             e.NrCPU,
+		Instrumented:      e.Instrumented,
+		InterruptOnSwitch: e.InterruptOnSwitch,
+	}
 }
 
 // KernelCounters reports how many kernel acquisitions were recycled from
-// the pool vs. built fresh.
+// the engine's pool vs. built fresh.
 func (e *Env) KernelCounters() (recycled, built uint64) {
-	return e.recycled.Load(), e.built.Load()
+	return e.eng.KernelCounters()
 }
 
-// resolveArgs materializes a call's arguments given earlier calls' results.
-func resolveArgs(c *syzlang.Call, returns []uint64) []uint64 {
-	args := make([]uint64, len(c.Args))
-	for i, a := range c.Args {
-		if a.Res {
-			if a.Ref >= 0 && a.Ref < len(returns) {
-				args[i] = returns[a.Ref]
-			}
-		} else {
-			args[i] = a.Val
-		}
-	}
-	return args
-}
-
-// errno for a call with no implementation (module not loaded).
-const enosys = ^uint64(37) // -38
-
-// execCall runs one call on a task, profiling it when prof is true, and
-// returns its result. The store buffer drains at syscall return.
-func execCall(t *kernel.Task, impls map[string]modules.Impl, c *syzlang.Call, args []uint64, prof bool) uint64 {
-	impl := impls[c.Def.Name]
-	if impl == nil {
-		return enosys
-	}
-	if prof {
-		t.Prof = &trace.Buffer{}
-	}
-	ret := impl(t, args)
-	t.SyscallReturn()
-	t.Prof = nil
-	return ret
+// STICacheCounters reports profile-cache hits and misses (see
+// engine.Engine.CacheCounters).
+func (e *Env) STICacheCounters() (hits, misses uint64) {
+	return e.eng.CacheCounters()
 }
 
 // STIResult is the outcome of a single-threaded (profiling) execution.
-type STIResult struct {
-	// Crash is non-nil if the program crashed sequentially (a non-OOO
-	// bug, found like a conventional fuzzer would).
-	Crash *kernel.Crash
-	// Deadlock is non-nil if the run deadlocked.
-	Deadlock *sched.Deadlock
-	// CallEvents holds the profiled event sequence of each completed
-	// call (§4.2); entries past a crash are nil.
-	CallEvents [][]trace.Event
-	// Returns holds each call's return value (resources for later calls).
-	Returns []uint64
-	// Cov is the KCov edge set covered by the run.
-	Cov map[uint64]struct{}
-	// Soft holds non-crash oracle reports.
-	Soft []string
-}
+type STIResult = engine.Result
+
+// MTIResult is the outcome of one hypothetical-memory-barrier test run.
+type MTIResult = engine.Result
+
+// MTIOpts selects the concurrent pair and the scheduling hint of one
+// multi-threaded input (§4.4).
+type MTIOpts = engine.Request
 
 // RunSTI executes the program sequentially on one task, profiling each
 // call's memory accesses and barriers — OZZ's first workflow step.
 func (e *Env) RunSTI(p *syzlang.Program) *STIResult {
-	k, impls := e.newKernel()
-	res := &STIResult{
-		CallEvents: make([][]trace.Event, len(p.Calls)),
-		Returns:    make([]uint64, len(p.Calls)),
-	}
-	task := k.NewTask(0)
-	// One profiling buffer serves every call: Clone captures each call's
-	// events, Reset recycles the backing storage for the next call.
-	prof := &trace.Buffer{}
-	session := sched.NewSession(sched.Sequential{})
-	session.Spawn(0, 0, func(st *sched.Task) {
-		task.Bind(st)
-		for ci := range p.Calls {
-			c := &p.Calls[ci]
-			args := resolveArgs(c, res.Returns)
-			if impl := impls[c.Def.Name]; impl != nil {
-				if e.Instrumented {
-					prof.Reset()
-					task.Prof = prof
-				}
-				res.Returns[ci] = impl(task, args)
-				task.SyscallReturn()
-				if task.Prof != nil {
-					res.CallEvents[ci] = task.Prof.Clone()
-					task.Prof = nil
-				}
-			} else {
-				res.Returns[ci] = enosys
-			}
-		}
-	})
-	aborted := session.Run()
-	// Capture the crashing call's partial profile.
-	if task.Prof != nil {
-		for ci := range res.CallEvents {
-			if res.CallEvents[ci] == nil {
-				res.CallEvents[ci] = task.Prof.Clone()
-				break
-			}
-		}
-		task.Prof = nil
-	}
-	classifyAbort(aborted, &res.Crash, &res.Deadlock)
-	res.Cov = k.Cov
-	res.Soft = k.Soft
-	e.release(k)
-	return res
+	return e.eng.Run(e.config(), engine.OOO{}, engine.Request{Prog: p, Profile: true})
 }
 
-func classifyAbort(aborted any, crash **kernel.Crash, dl **sched.Deadlock) {
-	switch v := aborted.(type) {
-	case nil:
-	case *kernel.Crash:
-		*crash = v
-	case *sched.Deadlock:
-		*dl = v
-	default:
-		// A genuine Go panic in the simulator itself: do not swallow.
-		panic(v)
-	}
-}
-
-// MTIOpts selects the concurrent pair and the scheduling hint of one
-// multi-threaded input (§4.4).
-type MTIOpts struct {
-	Prog *syzlang.Program
-	// I and J index the pair of calls to run concurrently (I < J).
-	I, J int
-	// Hint is the scheduling hint: interleaving point plus reordering
-	// directives.
-	Hint *hints.Hint
-	// NoReorder suppresses the OEMU directives while keeping the
-	// breakpoint schedule — the triage re-run that separates genuine OOO
-	// bugs from plain interleaving races (the paper's authors performed
-	// this classification manually on 61 crash titles, §6.1).
-	NoReorder bool
-}
-
-// MTIResult is the outcome of one hypothetical-memory-barrier test run.
-type MTIResult struct {
-	Crash    *kernel.Crash
-	Deadlock *sched.Deadlock
-	// PrefixCrash marks a crash during the sequential prefix (a non-OOO
-	// crash; the concurrent stage never ran).
-	PrefixCrash bool
-	// Fired reports whether the scheduling point was reached.
-	Fired bool
-	// Reordered counts the OEMU reorderings that actually occurred in
-	// the reorderer (delayed stores + versioned loads).
-	Reordered int
-	// ReorderLog carries the reorder records for the bug report.
-	ReorderLog []oemu.ReorderRecord
-	Soft       []string
-	Cov        map[uint64]struct{}
+// RunSTICached is RunSTI behind the engine's profile cache: the first
+// execution of a program profiles it for real; later executions of a
+// byte-identical program return the memoized result. Correct because
+// executions are deterministic — a program's STI outcome is a pure
+// function of (program, environment). The returned result is shared:
+// callers must not mutate it.
+func (e *Env) RunSTICached(p *syzlang.Program) *STIResult {
+	return e.eng.RunCached(e.config(), engine.OOO{}, engine.Request{Prog: p, Profile: true})
 }
 
 // RunMTI executes one multi-threaded input: the program's calls before J
@@ -253,97 +108,7 @@ type MTIResult struct {
 // concurrently on two CPUs under the hint's breakpoint policy with the
 // hint's OEMU directives installed (Fig. 5).
 func (e *Env) RunMTI(o MTIOpts) *MTIResult {
-	k, impls := e.newKernel()
-	res := &MTIResult{}
-	returns := make([]uint64, len(o.Prog.Calls))
-
-	// Stage 1: sequential prefix.
-	prefixTask := k.NewTask(0)
-	prefix := sched.NewSession(sched.Sequential{})
-	prefix.Spawn(0, 0, func(st *sched.Task) {
-		prefixTask.Bind(st)
-		for ci := 0; ci < o.J; ci++ {
-			if ci == o.I {
-				continue
-			}
-			c := &o.Prog.Calls[ci]
-			returns[ci] = execCall(prefixTask, impls, c, resolveArgs(c, returns), false)
-		}
-	})
-	if aborted := prefix.Run(); aborted != nil {
-		classifyAbort(aborted, &res.Crash, &res.Deadlock)
-		res.PrefixCrash = true
-		res.Cov = k.Cov
-		e.release(k)
-		return res
-	}
-
-	// Stage 2: the concurrent pair. The reorderer (per the hint) carries
-	// the OEMU directives and the breakpoint; the observer runs when the
-	// breakpoint fires.
-	reordererCall, observerCall := o.I, o.J
-	if o.Hint.Reorderer == 1 {
-		reordererCall, observerCall = o.J, o.I
-	}
-	taskA := k.NewTask(1) // reorderer
-	taskB := k.NewTask(2) // observer
-	if !o.NoReorder {
-		for _, s := range o.Hint.Reorder {
-			switch o.Hint.Test {
-			case hints.StoreBarrierTest:
-				taskA.OEMU().Dir.DelayStoreAt(s)
-			case hints.LoadBarrierTest:
-				taskA.OEMU().Dir.ReadOldValueAt(s)
-			}
-		}
-	}
-	pos := sched.PosAfter
-	if o.Hint.Test == hints.LoadBarrierTest {
-		pos = sched.PosBefore
-	}
-	bp := &sched.Breakpoint{
-		FromTask:   1,
-		Instr:      o.Hint.Sched,
-		Occurrence: o.Hint.SchedOcc,
-		Pos:        pos,
-		ToTask:     2,
-	}
-	if e.InterruptOnSwitch {
-		bp.OnSwitch = taskA.Interrupt
-	}
-	session := sched.NewSession(bp)
-	runPair := func(task *kernel.Task, ci int) func(*sched.Task) {
-		return func(st *sched.Task) {
-			task.Bind(st)
-			c := &o.Prog.Calls[ci]
-			returns[ci] = execCall(task, impls, c, resolveArgs(c, returns), false)
-		}
-	}
-	session.Spawn(1, 1, runPair(taskA, reordererCall))
-	session.Spawn(2, 2, runPair(taskB, observerCall))
-	aborted := session.Run()
-	classifyAbort(aborted, &res.Crash, &res.Deadlock)
-	res.Fired = bp.Fired
-	res.Reordered = taskA.OEMU().ReorderedCount()
-	res.ReorderLog = append(res.ReorderLog, taskA.OEMU().Log...)
-
-	// Stage 3: sequential suffix (an MTI consists of the same call set as
-	// its STI; calls after the pair can carry bug-detecting assertions).
-	if res.Crash == nil && res.Deadlock == nil && o.J+1 < len(o.Prog.Calls) {
-		suffix := sched.NewSession(sched.Sequential{})
-		suffix.Spawn(3, 0, func(st *sched.Task) {
-			prefixTask.Bind(st)
-			for ci := o.J + 1; ci < len(o.Prog.Calls); ci++ {
-				c := &o.Prog.Calls[ci]
-				returns[ci] = execCall(prefixTask, impls, c, resolveArgs(c, returns), false)
-			}
-		})
-		classifyAbort(suffix.Run(), &res.Crash, &res.Deadlock)
-	}
-	res.Soft = k.Soft
-	res.Cov = k.Cov
-	e.release(k)
-	return res
+	return e.eng.Run(e.config(), engine.OOO{}, o)
 }
 
 // PairName renders a concurrent pair for reports.

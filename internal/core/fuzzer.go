@@ -41,6 +41,30 @@ type Config struct {
 	InterruptOnSwitch bool
 }
 
+// normalize resolves the campaign-level defaults shared by the serial
+// fuzzer and the parallel pool. Kernel-level defaults (NrCPU) resolve in
+// engine.Config.normalize — zero passes through untouched here.
+func (c *Config) normalize() {
+	if c.ProgLen == 0 {
+		c.ProgLen = 4
+	}
+	if c.MaxHintsPerPair == 0 {
+		c.MaxHintsPerPair = 8
+	}
+	if c.MaxPairs == 0 {
+		c.MaxPairs = 8
+	}
+}
+
+// newEnvFromConfig builds the execution environment both campaign
+// executors share, forwarding the config's kernel knobs.
+func newEnvFromConfig(cfg Config) *Env {
+	env := NewEnv(cfg.Modules, cfg.Bugs)
+	env.NrCPU = cfg.NrCPU
+	env.InterruptOnSwitch = cfg.InterruptOnSwitch
+	return env
+}
+
 // Stats counts fuzzer work, mirroring the paper's execution metrics. All
 // fields except Perf are deterministic functions of the campaign Config —
 // identical across worker counts and runs.
@@ -126,23 +150,10 @@ type Fuzzer struct {
 
 // NewFuzzer builds a fuzzer for the configuration.
 func NewFuzzer(cfg Config) *Fuzzer {
-	if cfg.ProgLen == 0 {
-		cfg.ProgLen = 4
-	}
-	if cfg.MaxHintsPerPair == 0 {
-		cfg.MaxHintsPerPair = 8
-	}
-	if cfg.MaxPairs == 0 {
-		cfg.MaxPairs = 8
-	}
-	env := NewEnv(cfg.Modules, cfg.Bugs)
-	if cfg.NrCPU != 0 {
-		env.NrCPU = cfg.NrCPU
-	}
-	env.InterruptOnSwitch = cfg.InterruptOnSwitch
+	cfg.normalize()
 	f := &Fuzzer{
 		cfg:     cfg,
-		env:     env,
+		env:     newEnvFromConfig(cfg),
 		target:  modules.Target(cfg.Modules...),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		start:   time.Now(),

@@ -184,24 +184,11 @@ func NewPool(cfg Config, workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if cfg.ProgLen == 0 {
-		cfg.ProgLen = 4
-	}
-	if cfg.MaxHintsPerPair == 0 {
-		cfg.MaxHintsPerPair = 8
-	}
-	if cfg.MaxPairs == 0 {
-		cfg.MaxPairs = 8
-	}
-	env := NewEnv(cfg.Modules, cfg.Bugs)
-	if cfg.NrCPU != 0 {
-		env.NrCPU = cfg.NrCPU
-	}
-	env.InterruptOnSwitch = cfg.InterruptOnSwitch
+	cfg.normalize()
 	p := &Pool{
 		Workers: workers,
 		cfg:     cfg,
-		env:     env,
+		env:     newEnvFromConfig(cfg),
 		target:  modules.Target(cfg.Modules...),
 		Cov:     NewShardedCov(),
 		Reports: NewSafeReportSet(),

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheCap bounds the number of cached profiling results. When the cap is
+// reached the cache is dropped wholesale (epoch clearing): campaigns cycle
+// through generations of programs, so stale entries rarely pay rent, and
+// wholesale clearing keeps eviction O(1) and free of iteration-order
+// nondeterminism.
+const cacheCap = 4096
+
+// resultCache memoizes sequential runs keyed by the canonical syzlang
+// serialization of the program (Program.Key). Re-profiling an identical
+// single-threaded input — which happens constantly across fuzzer steps,
+// minimization, and the Table 3/4 campaigns — becomes a map lookup.
+//
+// Safe for concurrent use. Cached *Result values are shared between all
+// callers and MUST be treated as immutable; every consumer only reads
+// them (coverage merging, hint calculation, report formatting).
+type resultCache struct {
+	mu sync.RWMutex
+	m  map[string]*Result
+
+	hits, misses atomic.Uint64
+}
+
+func (c *resultCache) get(key string) *Result {
+	c.mu.RLock()
+	r := c.m[key]
+	c.mu.RUnlock()
+	if r != nil {
+		c.hits.Add(1)
+	}
+	return r
+}
+
+func (c *resultCache) put(key string, r *Result) {
+	c.mu.Lock()
+	if c.m == nil || len(c.m) >= cacheCap {
+		c.m = make(map[string]*Result)
+	}
+	c.m[key] = r
+	c.mu.Unlock()
+}
+
+// RunCached is Run behind the engine's result cache: the first execution
+// of a program runs it for real; later executions of a byte-identical
+// program return the memoized result. Correct only for deterministic
+// strategy/config combinations where the outcome is a pure function of
+// (program, config) — the sequential profiling path. The returned result
+// is shared: callers must not mutate it.
+func (e *Engine) RunCached(cfg Config, s Strategy, req Request) *Result {
+	key := req.Prog.Key()
+	if r := e.cache.get(key); r != nil {
+		return r
+	}
+	e.cache.misses.Add(1)
+	r := e.Run(cfg, s, req)
+	e.cache.put(key, r)
+	return r
+}
+
+// CacheCounters reports result-cache hits and misses. Two workers racing
+// on the same uncached program both count a miss (both run it; the
+// results are identical), so hits+misses can slightly exceed the number
+// of lookups that found an entry present.
+func (e *Engine) CacheCounters() (hits, misses uint64) {
+	return e.cache.hits.Load(), e.cache.misses.Load()
+}

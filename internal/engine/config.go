@@ -1,0 +1,43 @@
+package engine
+
+import "ozz/internal/modules"
+
+// DefaultNrCPU is the simulated CPU count every path defaults to — the
+// paper's 4-vCPU test VMs.
+const DefaultNrCPU = 4
+
+// Config describes the execution environment of one run: which modules
+// are built over the kernel, which bug switches (missing barriers) are
+// active, and which kernel features are enabled. A Config is passed by
+// value per Run call, so concurrent runs with different configurations
+// never race on shared state.
+type Config struct {
+	// Modules lists the loaded modules (empty = all registered).
+	Modules []string
+	// Bugs holds the active bug switches (missing barriers).
+	Bugs modules.BugSet
+	// NrCPU is the simulated CPU count; 0 selects DefaultNrCPU.
+	NrCPU int
+	// Instrumented selects the OEMU path: every access is a callback
+	// (profiling, reordering directives, scheduling points). False is a
+	// plain kernel — the syzkaller baseline's configuration.
+	Instrumented bool
+	// Sanitizers keeps KASAN/KCov active when Instrumented is false (a
+	// syzkaller kernel still has sanitizers). Ignored when Instrumented.
+	Sanitizers bool
+	// InterruptOnSwitch injects an interrupt on the reorderer's CPU at
+	// the scheduling point of every pair run. Interrupts drain the
+	// virtual store buffer (§3.1), so store-barrier tests become vacuous
+	// — the ablation demonstrating why OZZ's custom scheduler must
+	// suspend vCPUs WITHOUT delivering interrupts.
+	InterruptOnSwitch bool
+}
+
+// normalize resolves defaulted fields. It is the single home of the
+// "NrCPU == 0 means 4" rule that used to be duplicated across every
+// execution path.
+func (c *Config) normalize() {
+	if c.NrCPU == 0 {
+		c.NrCPU = DefaultNrCPU
+	}
+}

@@ -1,0 +1,339 @@
+// Package engine owns the execution lifecycle every OZZ path shares:
+// kernel acquisition (with sync.Pool recycling via Reset), module
+// building, task spawning under the deterministic scheduler,
+// panic-to-crash recovery, and result publication (coverage, soft
+// reports, return values, profiles). The paper evaluates one runtime
+// under four drivers — OZZ's OEMU executor (§4), the syzkaller and
+// interleaving baselines (§6.3.2), and KCSAN (§7) — and each driver is
+// expressed here as a Strategy plugged into the same engine, so the
+// build/run/recover/report loop exists exactly once.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ozz/internal/hints"
+	"ozz/internal/kernel"
+	"ozz/internal/modules"
+	"ozz/internal/oemu"
+	"ozz/internal/sched"
+	"ozz/internal/syzlang"
+	"ozz/internal/trace"
+)
+
+// Request selects what to execute: the program, the concurrent pair, the
+// scheduling hint, and the per-run knobs. Strategy implementations read
+// the fields they understand and ignore the rest.
+type Request struct {
+	Prog *syzlang.Program
+	// I and J index the pair of calls to run concurrently (I < J). Unused
+	// by sequential runs.
+	I, J int
+	// Hint is the OOO scheduling hint: interleaving point plus reordering
+	// directives. A nil hint makes the OOO strategy run sequentially.
+	Hint *hints.Hint
+	// NoReorder suppresses the OEMU directives while keeping the
+	// breakpoint schedule — the triage re-run that separates genuine OOO
+	// bugs from plain interleaving races (the paper's authors performed
+	// this classification manually on 61 crash titles, §6.1).
+	NoReorder bool
+	// Profile captures each call's memory-access events in sequential
+	// runs (requires an instrumented kernel).
+	Profile bool
+	// Seed feeds seeded schedule policies (the Interleave strategy's
+	// random schedule; KCSAN's sampling stream).
+	Seed int64
+}
+
+// Result is the outcome of one engine run — the union of what the
+// sequential (STI) and pair (MTI) shapes produce. Fields that do not
+// apply to a run's shape are zero.
+type Result struct {
+	// Crash is non-nil if the run crashed (a kernel bug oracle fired).
+	Crash *kernel.Crash
+	// Deadlock is non-nil if the run deadlocked.
+	Deadlock *sched.Deadlock
+	// PrefixCrash marks a crash during the sequential prefix of a pair
+	// run (a non-OOO crash; the concurrent stage never ran).
+	PrefixCrash bool
+	// Fired reports whether the scheduling point was reached (OOO runs).
+	Fired bool
+	// Reordered counts the OEMU reorderings that actually occurred in
+	// the reorderer (delayed stores + versioned loads).
+	Reordered int
+	// ReorderLog carries the reorder records for the bug report.
+	ReorderLog []oemu.ReorderRecord
+	// CallEvents holds the profiled event sequence of each completed
+	// call (§4.2) in profiling runs; entries past a crash are nil.
+	CallEvents [][]trace.Event
+	// Returns holds each call's return value (resources for later calls)
+	// in sequential runs.
+	Returns []uint64
+	// Cov is the KCov edge set covered by the run.
+	Cov map[uint64]struct{}
+	// Soft holds non-crash oracle reports.
+	Soft []string
+}
+
+// buildFunc instantiates modules over a kernel; the default is
+// modules.Build with the config's module list and bug set. Tests inject
+// alternatives to run synthetic syscall implementations.
+type buildFunc func(k *kernel.Kernel) map[string]modules.Impl
+
+// Engine executes requests. It is safe for concurrent use: the kernel
+// recycler and the result cache are internally synchronized, and every
+// run works on its own kernel. One Engine instance amortizes kernel
+// construction across all runs sharing it, whatever their Config.
+type Engine struct {
+	// kpool recycles kernel instances across executions: Reset on a used
+	// kernel is much cheaper than rebuilding memory pages, emulator maps,
+	// and allocator state from scratch. sync.Pool is concurrency-safe, so
+	// parallel campaign workers share one recycler.
+	kpool sync.Pool
+	// recycled/built count kernel acquisitions served from the pool vs.
+	// constructed fresh (the pool recycle-rate metric).
+	recycled, built atomic.Uint64
+
+	// cache memoizes sequential profiling runs (see cache.go).
+	cache resultCache
+}
+
+// New returns an empty engine.
+func New() *Engine { return &Engine{} }
+
+// Run executes one request under the strategy. The config is normalized
+// (defaults resolved) before use.
+func (e *Engine) Run(cfg Config, s Strategy, req Request) *Result {
+	return e.run(cfg, s, req, nil)
+}
+
+// run is Run with an injectable module builder (white-box tests).
+func (e *Engine) run(cfg Config, s Strategy, req Request, build buildFunc) *Result {
+	cfg.normalize()
+	k := e.acquire(&cfg)
+	var impls map[string]modules.Impl
+	if build != nil {
+		impls = build(k)
+	} else {
+		impls = modules.Build(k, cfg.Bugs, cfg.Modules...)
+	}
+	s.Attach(k, &req)
+	if plan := s.Pair(&cfg, &req); plan != nil {
+		return e.runPair(k, impls, &cfg, &req, plan)
+	}
+	return e.runSequential(k, impls, &cfg, &req)
+}
+
+// KernelCounters reports how many kernel acquisitions were recycled from
+// the pool vs. built fresh.
+func (e *Engine) KernelCounters() (recycled, built uint64) {
+	return e.recycled.Load(), e.built.Load()
+}
+
+// RecycleRate returns the fraction of kernel acquisitions served by the
+// recycler (0 before the first run).
+func (e *Engine) RecycleRate() float64 {
+	r, b := e.KernelCounters()
+	if r+b == 0 {
+		return 0
+	}
+	return float64(r) / float64(r+b)
+}
+
+// acquire returns a kernel — recycled from the pool when possible — with
+// the config's feature switches applied. The result is identical to a
+// freshly-constructed kernel: Reset restores every observable property
+// (memory content, sanitizer state, emulator clock, site tables).
+func (e *Engine) acquire(cfg *Config) *kernel.Kernel {
+	var k *kernel.Kernel
+	if v := e.kpool.Get(); v != nil {
+		k = v.(*kernel.Kernel)
+		k.Reset()
+		e.recycled.Add(1)
+	} else {
+		k = kernel.New(cfg.NrCPU)
+		e.built.Add(1)
+	}
+	k.Instrumented = cfg.Instrumented
+	k.Sanitizers = cfg.Sanitizers
+	return k
+}
+
+// release returns a kernel to the recycler once an execution has finished
+// with it. Callers must first take ownership of any kernel state they hand
+// out in results (Cov, Soft): Reset replaces those rather than mutating
+// them, so already-captured maps stay valid.
+func (e *Engine) release(k *kernel.Kernel) {
+	e.kpool.Put(k)
+}
+
+// resolveArgs materializes a call's arguments given earlier calls' results.
+func resolveArgs(c *syzlang.Call, returns []uint64) []uint64 {
+	args := make([]uint64, len(c.Args))
+	for i, a := range c.Args {
+		if a.Res {
+			if a.Ref >= 0 && a.Ref < len(returns) {
+				args[i] = returns[a.Ref]
+			}
+		} else {
+			args[i] = a.Val
+		}
+	}
+	return args
+}
+
+// errno for a call with no implementation (module not loaded).
+const enosys = ^uint64(37) // -38
+
+// execCall runs one call on a task and returns its result. The store
+// buffer drains at syscall return.
+func execCall(t *kernel.Task, impls map[string]modules.Impl, c *syzlang.Call, args []uint64) uint64 {
+	impl := impls[c.Def.Name]
+	if impl == nil {
+		return enosys
+	}
+	ret := impl(t, args)
+	t.SyscallReturn()
+	return ret
+}
+
+// runSequential executes the whole program on one task — the STI
+// profiling path and the syzkaller baseline.
+func (e *Engine) runSequential(k *kernel.Kernel, impls map[string]modules.Impl, cfg *Config, req *Request) *Result {
+	p := req.Prog
+	res := &Result{
+		CallEvents: make([][]trace.Event, len(p.Calls)),
+		Returns:    make([]uint64, len(p.Calls)),
+	}
+	profiling := req.Profile && cfg.Instrumented
+	task := k.NewTask(0)
+	// One profiling buffer serves every call: Clone captures each call's
+	// events, Reset recycles the backing storage for the next call.
+	prof := &trace.Buffer{}
+	session := sched.NewSession(sched.Sequential{})
+	session.Spawn(0, 0, func(st *sched.Task) {
+		task.Bind(st)
+		for ci := range p.Calls {
+			c := &p.Calls[ci]
+			args := resolveArgs(c, res.Returns)
+			if impl := impls[c.Def.Name]; impl != nil {
+				if profiling {
+					prof.Reset()
+					task.Prof = prof
+				}
+				res.Returns[ci] = impl(task, args)
+				task.SyscallReturn()
+				if task.Prof != nil {
+					res.CallEvents[ci] = task.Prof.Clone()
+					task.Prof = nil
+				}
+			} else {
+				res.Returns[ci] = enosys
+			}
+		}
+	})
+	aborted := session.Run()
+	// Capture the crashing call's partial profile.
+	if task.Prof != nil {
+		for ci := range res.CallEvents {
+			if res.CallEvents[ci] == nil {
+				res.CallEvents[ci] = task.Prof.Clone()
+				break
+			}
+		}
+		task.Prof = nil
+	}
+	classifyAbort(aborted, res)
+	res.Cov = k.Cov
+	res.Soft = k.Soft
+	e.release(k)
+	return res
+}
+
+// runPair executes the prefix/pair(/suffix) shape: the program's calls
+// before J (except I) run sequentially to build kernel state; then the
+// plan's two calls run concurrently on CPUs 1 and 2 under its policy
+// (Fig. 5).
+func (e *Engine) runPair(k *kernel.Kernel, impls map[string]modules.Impl, cfg *Config, req *Request, plan *PairPlan) *Result {
+	p := req.Prog
+	res := &Result{}
+	returns := make([]uint64, len(p.Calls))
+
+	// Stage 1: sequential prefix.
+	prefixTask := k.NewTask(0)
+	prefix := sched.NewSession(sched.Sequential{})
+	prefix.Spawn(0, 0, func(st *sched.Task) {
+		prefixTask.Bind(st)
+		for ci := 0; ci < req.J; ci++ {
+			if ci == req.I {
+				continue
+			}
+			c := &p.Calls[ci]
+			returns[ci] = execCall(prefixTask, impls, c, resolveArgs(c, returns))
+		}
+	})
+	if aborted := prefix.Run(); aborted != nil {
+		classifyAbort(aborted, res)
+		res.PrefixCrash = true
+		res.Cov = k.Cov
+		e.release(k)
+		return res
+	}
+
+	// Stage 2: the concurrent pair under the plan's policy, with the
+	// plan's directives/observers armed on the fresh tasks.
+	taskA := k.NewTask(1)
+	taskB := k.NewTask(2)
+	if plan.Arm != nil {
+		plan.Arm(taskA, taskB)
+	}
+	session := sched.NewSession(plan.Policy)
+	runPair := func(task *kernel.Task, ci int) func(*sched.Task) {
+		return func(st *sched.Task) {
+			task.Bind(st)
+			c := &p.Calls[ci]
+			returns[ci] = execCall(task, impls, c, resolveArgs(c, returns))
+		}
+	}
+	session.Spawn(1, 1, runPair(taskA, plan.CallA))
+	session.Spawn(2, 2, runPair(taskB, plan.CallB))
+	classifyAbort(session.Run(), res)
+	if plan.Finish != nil {
+		plan.Finish(res, taskA, taskB)
+	}
+
+	// Stage 3: sequential suffix (an MTI consists of the same call set as
+	// its STI; calls after the pair can carry bug-detecting assertions).
+	if plan.Suffix && res.Crash == nil && res.Deadlock == nil && req.J+1 < len(p.Calls) {
+		suffix := sched.NewSession(sched.Sequential{})
+		suffix.Spawn(3, 0, func(st *sched.Task) {
+			prefixTask.Bind(st)
+			for ci := req.J + 1; ci < len(p.Calls); ci++ {
+				c := &p.Calls[ci]
+				returns[ci] = execCall(prefixTask, impls, c, resolveArgs(c, returns))
+			}
+		})
+		classifyAbort(suffix.Run(), res)
+	}
+	res.Soft = k.Soft
+	res.Cov = k.Cov
+	e.release(k)
+	return res
+}
+
+// classifyAbort sorts a session's recovered panic value into the result.
+// Values that are neither *kernel.Crash nor *sched.Deadlock are genuine
+// Go panics in the simulator itself and are re-raised so they surface as
+// harness errors — no execution path may silently drop them.
+func classifyAbort(aborted any, res *Result) {
+	switch v := aborted.(type) {
+	case nil:
+	case *kernel.Crash:
+		res.Crash = v
+	case *sched.Deadlock:
+		res.Deadlock = v
+	default:
+		panic(v)
+	}
+}

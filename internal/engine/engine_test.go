@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"testing"
+
+	"ozz/internal/kernel"
+	"ozz/internal/modules"
+	"ozz/internal/syzlang"
+)
+
+// prog builds a one-call program whose syscall has the given name.
+func prog(name string) *syzlang.Program {
+	return &syzlang.Program{Calls: []syzlang.Call{{Def: &syzlang.SyscallDef{Name: name}}}}
+}
+
+// injected returns a buildFunc serving the given implementations.
+func injected(impls map[string]modules.Impl) buildFunc {
+	return func(*kernel.Kernel) map[string]modules.Impl { return impls }
+}
+
+// TestCrashPanicRecovered: a syscall panicking with *kernel.Crash is the
+// kernel's crash channel — the engine must recover it into the result.
+func TestCrashPanicRecovered(t *testing.T) {
+	e := New()
+	impls := map[string]modules.Impl{
+		"boom": func(tk *kernel.Task, _ []uint64) uint64 {
+			panic(&kernel.Crash{Title: "kernel BUG in boom", Oracle: "assert"})
+		},
+	}
+	res := e.run(Config{Instrumented: true}, OOO{}, Request{Prog: prog("boom")}, injected(impls))
+	if res.Crash == nil || res.Crash.Title != "kernel BUG in boom" {
+		t.Fatalf("crash not recovered: %+v", res)
+	}
+}
+
+// TestNonCrashPanicSurfaces: a syscall panicking with anything other than
+// *kernel.Crash / *sched.Deadlock is a genuine bug in the simulator — it
+// must escape the engine as a harness error, never become a
+// silently-dropped (or worse, recorded) report. The baselines used to
+// swallow these; the engine boundary forbids it for every strategy.
+func TestNonCrashPanicSurfaces(t *testing.T) {
+	e := New()
+	impls := map[string]modules.Impl{
+		"oops": func(tk *kernel.Task, _ []uint64) uint64 {
+			panic("plain string panic: simulator bug")
+		},
+	}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("non-crash panic was swallowed by the engine")
+		}
+		if s, ok := v.(string); !ok || s != "plain string panic: simulator bug" {
+			t.Fatalf("panic value mangled: %v", v)
+		}
+	}()
+	e.run(Config{Instrumented: true}, OOO{}, Request{Prog: prog("oops")}, injected(impls))
+	t.Fatal("run returned instead of panicking")
+}
+
+// TestConfigNormalize: the NrCPU default is resolved in exactly one place.
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}
+	c.normalize()
+	if c.NrCPU != DefaultNrCPU {
+		t.Fatalf("NrCPU = %d, want %d", c.NrCPU, DefaultNrCPU)
+	}
+	c = Config{NrCPU: 2}
+	c.normalize()
+	if c.NrCPU != 2 {
+		t.Fatalf("explicit NrCPU overridden: %d", c.NrCPU)
+	}
+}
+
+// TestKernelRecycling: sequential runs reuse the pooled kernel, and the
+// counters expose the recycle rate.
+func TestKernelRecycling(t *testing.T) {
+	e := New()
+	impls := map[string]modules.Impl{
+		"nop": func(tk *kernel.Task, _ []uint64) uint64 { return 0 },
+	}
+	for i := 0; i < 5; i++ {
+		res := e.run(Config{Instrumented: true}, OOO{}, Request{Prog: prog("nop")}, injected(impls))
+		if res.Crash != nil || res.Deadlock != nil {
+			t.Fatalf("run %d aborted: %+v", i, res)
+		}
+	}
+	recycled, built := e.KernelCounters()
+	if built != 1 || recycled != 4 {
+		t.Fatalf("counters = (recycled %d, built %d), want (4, 1)", recycled, built)
+	}
+	if rate := e.RecycleRate(); rate != 0.8 {
+		t.Fatalf("recycle rate = %v, want 0.8", rate)
+	}
+}
+
+// TestMissingImplReturnsENOSYS: a call with no implementation fails with
+// -ENOSYS instead of silently succeeding.
+func TestMissingImplReturnsENOSYS(t *testing.T) {
+	e := New()
+	res := e.run(Config{Instrumented: true}, OOO{}, Request{Prog: prog("nosuchcall")},
+		injected(map[string]modules.Impl{}))
+	if res.Returns[0] != enosys {
+		t.Fatalf("missing impl returned %#x, want ENOSYS", res.Returns[0])
+	}
+}

@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"ozz/internal/hints"
+	"ozz/internal/kernel"
+	"ozz/internal/sched"
+)
+
+// Strategy is an execution policy plugged into the engine: it decides how
+// a program's calls are scheduled (sequentially, or as a concurrent pair
+// under some policy), which OEMU directives are installed, and which
+// observers watch the kernel. The engine owns everything else — kernel
+// acquisition and recycling, module building, task creation, session
+// spawning, crash recovery, and result publication — so a strategy is
+// only the delta between execution paths.
+//
+// The built-in strategies reproduce the paper's four drivers: OOO (§4,
+// the hypothetical-barrier MTI executor), Sequential (§6.3.2, the
+// syzkaller baseline), Interleave (§6.3.2, schedule-only fuzzing), and —
+// implemented outside this package to prove the plug-point —
+// baseline/kcsan's watchpoint sampler (§7).
+type Strategy interface {
+	// Name identifies the strategy (reports, stats, debugging).
+	Name() string
+	// Attach installs the strategy's observers on a freshly built kernel
+	// — after modules are built, before any call runs. Most strategies
+	// attach nothing; KCSAN installs its OnAccess watchpoint sampler.
+	Attach(k *kernel.Kernel, req *Request)
+	// Pair returns the concurrent-pair plan for the request, or nil to
+	// run the whole program sequentially on one task.
+	Pair(cfg *Config, req *Request) *PairPlan
+}
+
+// PairPlan describes one prefix/pair(/suffix) execution: the program's
+// calls before J (except I) run sequentially to build kernel state, then
+// CallA and CallB run concurrently on CPUs 1 and 2 under Policy.
+type PairPlan struct {
+	// Policy schedules the concurrent stage (breakpoint, random, ...).
+	Policy sched.Policy
+	// CallA and CallB are the call indices run by task 1 (CPU 1) and
+	// task 2 (CPU 2) respectively.
+	CallA, CallB int
+	// Suffix runs the program's calls after J sequentially once the pair
+	// completes without crashing (an MTI consists of the same call set as
+	// its STI; trailing calls can carry bug-detecting assertions). The
+	// baselines run no suffix.
+	Suffix bool
+	// Arm, if non-nil, runs after the pair tasks are created and before
+	// they are spawned — the hook for OEMU reordering directives and
+	// schedule-coupled state (ta is task 1, tb is task 2).
+	Arm func(ta, tb *kernel.Task)
+	// Finish, if non-nil, runs after the concurrent stage completes
+	// (before the suffix) to harvest strategy-specific outcomes into the
+	// result (breakpoint fired, reorder counts, ...).
+	Finish func(res *Result, ta, tb *kernel.Task)
+}
+
+// OOO is OZZ's hypothetical-memory-barrier strategy (§4.4): the
+// reorderer task carries the hint's OEMU directives (delayed stores or
+// versioned loads) and a breakpoint policy switches to the observer at
+// the hint's scheduling point. Without a hint the program runs
+// sequentially — the STI profiling path.
+type OOO struct{}
+
+// Name implements Strategy.
+func (OOO) Name() string { return "ooo" }
+
+// Attach implements Strategy (no observers).
+func (OOO) Attach(*kernel.Kernel, *Request) {}
+
+// Pair implements Strategy: the hint selects reorderer/observer roles,
+// the directive kind, and the breakpoint position.
+func (OOO) Pair(cfg *Config, req *Request) *PairPlan {
+	if req.Hint == nil {
+		return nil
+	}
+	hint := req.Hint
+	callA, callB := req.I, req.J
+	if hint.Reorderer == 1 {
+		callA, callB = req.J, req.I
+	}
+	pos := sched.PosAfter
+	if hint.Test == hints.LoadBarrierTest {
+		pos = sched.PosBefore
+	}
+	bp := &sched.Breakpoint{
+		FromTask:   1,
+		Instr:      hint.Sched,
+		Occurrence: hint.SchedOcc,
+		Pos:        pos,
+		ToTask:     2,
+	}
+	noReorder := req.NoReorder
+	interrupt := cfg.InterruptOnSwitch
+	return &PairPlan{
+		Policy: bp,
+		CallA:  callA,
+		CallB:  callB,
+		Suffix: true,
+		Arm: func(ta, _ *kernel.Task) {
+			if !noReorder {
+				for _, s := range hint.Reorder {
+					switch hint.Test {
+					case hints.StoreBarrierTest:
+						ta.OEMU().Dir.DelayStoreAt(s)
+					case hints.LoadBarrierTest:
+						ta.OEMU().Dir.ReadOldValueAt(s)
+					}
+				}
+			}
+			if interrupt {
+				bp.OnSwitch = ta.Interrupt
+			}
+		},
+		Finish: func(res *Result, ta, _ *kernel.Task) {
+			res.Fired = bp.Fired
+			res.Reordered = ta.OEMU().ReorderedCount()
+			res.ReorderLog = append(res.ReorderLog, ta.OEMU().Log...)
+		},
+	}
+}
+
+// Sequential is the syzkaller-baseline strategy: every program runs
+// sequentially on one task, whatever the request's pair fields say.
+type Sequential struct{}
+
+// Name implements Strategy.
+func (Sequential) Name() string { return "sequential" }
+
+// Attach implements Strategy (no observers).
+func (Sequential) Attach(*kernel.Kernel, *Request) {}
+
+// Pair implements Strategy: never a concurrent stage.
+func (Sequential) Pair(*Config, *Request) *PairPlan { return nil }
+
+// Interleave is the interleaving-only baseline strategy
+// (Snowboard/Razzer-style): the pair runs under a seeded random schedule
+// — thread interleaving control WITHOUT memory reordering, so OOO bugs
+// stay invisible (§2.3).
+type Interleave struct {
+	// Period is the random policy's switch period (default 2).
+	Period int
+}
+
+// Name implements Strategy.
+func (Interleave) Name() string { return "interleave" }
+
+// Attach implements Strategy (no observers).
+func (Interleave) Attach(*kernel.Kernel, *Request) {}
+
+// Pair implements Strategy: calls I and J under a random schedule seeded
+// from the request.
+func (iv Interleave) Pair(_ *Config, req *Request) *PairPlan {
+	period := iv.Period
+	if period == 0 {
+		period = 2
+	}
+	return &PairPlan{
+		Policy: &sched.Random{Seed: req.Seed, Period: period},
+		CallA:  req.I,
+		CallB:  req.J,
+	}
+}

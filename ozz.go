@@ -12,7 +12,9 @@
 //     hints by the hypothetical memory barrier test, execute multi-threaded
 //     inputs under OEMU reordering directives, and collect crash reports
 //     annotated with the missing-barrier location;
-//   - Env / MTIOpts: the execution environment for driving single tests;
+//   - Env / MTIOpts: the execution environment for driving single tests
+//     (a thin facade over internal/engine, the pluggable Strategy layer
+//     every execution path — OZZ and all baselines — runs through);
 //   - Bugs / AllBugs: the bug corpus switches (Table 3's 11 new bugs,
 //     Table 4's 9 known bugs, the Fig. 10 Rust example);
 //   - the benchmark harnesses regenerating every evaluation table.
