@@ -11,6 +11,11 @@
 //	ozz-bench -table ofence       # §6.4: static paired-barrier comparison
 //	ozz-bench -table kcsan        # §7: race-detector comparison + case studies
 //	ozz-bench -table all
+//
+// With -metrics-addr and/or -events, every campaign the harnesses run is
+// instrumented into one shared registry and event log (see
+// docs/OBSERVABILITY.md) — counters are cumulative across all campaigns of
+// the invocation.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"time"
 
 	"ozz/internal/bench"
+	"ozz/internal/obs"
 )
 
 func main() {
@@ -29,7 +35,31 @@ func main() {
 	iters := flag.Int("iters", 5000, "operations per LMBench workload")
 	tpBudget := flag.Duration("tp-budget", time.Second, "wall-clock budget per side of the throughput comparison")
 	workers := flag.Bool("workers", true, "include the worker-scaling rows (1, 2, 4, GOMAXPROCS) in the throughput table")
+	metricsAddr := flag.String("metrics-addr", "", `serve /metrics and /debug/pprof/ on this address while tables regenerate`)
+	eventsPath := flag.String("events", "", "append campaign events as JSON lines to this file")
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	var events *obs.EventLog
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "events: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		events = obs.NewEventLog(f, obs.LevelInfo)
+	}
+	if *metricsAddr != "" {
+		bound, stop, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", bound)
+	}
+	bench.Instrument(reg, events)
 
 	valid := map[string]bool{"3": true, "4": true, "5": true, "throughput": true, "heuristic": true, "ofence": true, "kcsan": true, "all": true}
 	if !valid[*table] {

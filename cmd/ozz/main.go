@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ozz [-modules tls,xsk] [-bugs all|sw1,sw2] [-steps 500] [-seed 1] [-workers 4] [-v]
+//	ozz -duration 30s -metrics-addr 127.0.0.1:9911 -events events.jsonl
 //
 // With -bugs all (the default), every Table 3/Table 4 bug switch is active —
 // the fuzzer hunts the whole corpus. With -bugs "" the kernel is fully
@@ -13,6 +14,12 @@
 // The campaign runs on the parallel Pool executor at -workers width. The
 // step sequence is deterministic in the campaign seed, so any worker count
 // produces the same findings, coverage, and corpus — only faster.
+//
+// Observability (see docs/OBSERVABILITY.md): -metrics-addr serves the
+// campaign's metric registry in Prometheus text format on /metrics (plus
+// net/http/pprof on /debug/pprof/); -events appends one JSON object per
+// campaign event to the given file; -duration switches from a fixed step
+// count to a wall-clock budget.
 package main
 
 import (
@@ -21,9 +28,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"ozz/internal/core"
 	"ozz/internal/modules"
+	"ozz/internal/obs"
 	"ozz/internal/report"
 )
 
@@ -38,6 +47,10 @@ func main() {
 		list      = flag.Bool("list", false, "list modules and bug switches, then exit")
 		corpusIn  = flag.String("corpus-in", "", "file with a previously exported corpus to resume from")
 		corpusOut = flag.String("corpus-out", "", "file to export the coverage corpus to at exit")
+
+		duration    = flag.Duration("duration", 0, "wall-clock campaign budget; when > 0 it replaces -steps")
+		metricsAddr = flag.String("metrics-addr", "", `serve /metrics and /debug/pprof/ on this address (e.g. "127.0.0.1:9911"; ":0" picks a free port)`)
+		eventsPath  = flag.String("events", "", "append campaign events as JSON lines to this file")
 	)
 	flag.Parse()
 
@@ -72,6 +85,30 @@ func main() {
 		bugSet = modules.Bugs(strings.Split(*bugs, ",")...)
 	}
 
+	// Observability plumbing: one registry and one event log for the whole
+	// campaign, wired into the Pool via its Config. Both are purely
+	// observational — enabling them never changes campaign results.
+	reg := obs.NewRegistry()
+	var events *obs.EventLog
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "events: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		events = obs.NewEventLog(f, obs.LevelInfo)
+	}
+	if *metricsAddr != "" {
+		bound, stop, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", bound)
+	}
+
 	// Every worker count runs on the Pool executor — the campaign's step
 	// sequence is a function of the seed alone, so -workers only changes
 	// wall-clock time, never the output.
@@ -80,6 +117,8 @@ func main() {
 		Bugs:     bugSet,
 		Seed:     *seed,
 		UseSeeds: true,
+		Obs:      reg,
+		Events:   events,
 	}, *workers)
 	if *corpusIn != "" {
 		in, err := os.Open(*corpusIn)
@@ -98,21 +137,46 @@ func main() {
 	if *v {
 		fmt.Fprintf(os.Stderr, "campaign: %d workers\n", p.Workers)
 	}
-	const chunk = 64
-	for done := 0; done < *steps; {
-		n := chunk
-		if *steps-done < n {
-			n = *steps - done
+	events.Info(0, "campaign_start", map[string]any{
+		"seed": *seed, "workers": p.Workers, "steps": *steps, "duration": duration.String(),
+	})
+	if *duration > 0 {
+		// Wall-clock mode: run in short slices so findings stream out and
+		// -v progress stays live, stopping once the budget is spent.
+		deadline := time.Now().Add(*duration)
+		for time.Now().Before(deadline) {
+			slice := time.Until(deadline)
+			if slice > 2*time.Second {
+				slice = 2 * time.Second
+			}
+			printFindings(p.RunFor(slice))
+			if *v {
+				s := p.Stats()
+				fmt.Fprintf(os.Stderr, "step %d: %d STIs, %d MTIs, %d hints, cov %d edges, %d crash titles\n",
+					s.Steps, s.STIs, s.MTIs, s.Hints, p.CoverageEdges(), p.Reports.Len())
+			}
 		}
-		printFindings(p.Run(n))
-		done += n
-		if *v && done < *steps {
-			s := p.Stats()
-			fmt.Fprintf(os.Stderr, "step %d: %d STIs, %d MTIs, %d hints, cov %d edges, %d crash titles\n",
-				done, s.STIs, s.MTIs, s.Hints, p.CoverageEdges(), p.Reports.Len())
+	} else {
+		const chunk = 64
+		for done := 0; done < *steps; {
+			n := chunk
+			if *steps-done < n {
+				n = *steps - done
+			}
+			printFindings(p.Run(n))
+			done += n
+			if *v && done < *steps {
+				s := p.Stats()
+				fmt.Fprintf(os.Stderr, "step %d: %d STIs, %d MTIs, %d hints, cov %d edges, %d crash titles\n",
+					done, s.STIs, s.MTIs, s.Hints, p.CoverageEdges(), p.Reports.Len())
+			}
 		}
 	}
 	stats := p.Stats()
+	events.Info(0, "campaign_end", map[string]any{
+		"steps": stats.Steps, "stis": stats.STIs, "mtis": stats.MTIs,
+		"hints": stats.Hints, "cov_edges": p.CoverageEdges(), "reports": p.Reports.Len(),
+	})
 	printSummary(stats, p.CoverageEdges(), p.Reports.All(), *v)
 	if *corpusOut != "" {
 		writeCorpusFile(*corpusOut, p.WriteCorpus)

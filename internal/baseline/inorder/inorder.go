@@ -23,6 +23,7 @@ import (
 	"ozz/internal/engine"
 	"ozz/internal/kernel"
 	"ozz/internal/modules"
+	"ozz/internal/obs"
 	"ozz/internal/report"
 	"ozz/internal/syzlang"
 )
@@ -43,8 +44,16 @@ type Syzkaller struct {
 	Execs uint64
 }
 
-// NewSyzkaller builds the baseline fuzzer.
+// NewSyzkaller builds the baseline fuzzer with a private metrics
+// registry. Equivalent to NewSyzkallerObs(mods, bugs, seed, nil).
 func NewSyzkaller(mods []string, bugs modules.BugSet, seed int64) *Syzkaller {
+	return NewSyzkallerObs(mods, bugs, seed, nil)
+}
+
+// NewSyzkallerObs builds the baseline fuzzer publishing engine lifecycle
+// metrics into reg (nil = a fresh private registry), so a campaign can
+// scrape OZZ and the baseline from one endpoint.
+func NewSyzkallerObs(mods []string, bugs modules.BugSet, seed int64, reg *obs.Registry) *Syzkaller {
 	return &Syzkaller{
 		Modules: mods,
 		Bugs:    bugs,
@@ -52,10 +61,13 @@ func NewSyzkaller(mods []string, bugs modules.BugSet, seed int64) *Syzkaller {
 		ProgLen: 4,
 		target:  modules.Target(mods...),
 		rng:     rand.New(rand.NewSource(seed)),
-		eng:     engine.New(),
+		eng:     engine.NewObs(reg),
 		Reports: report.NewSet(),
 	}
 }
+
+// Obs returns the registry the baseline's engine publishes into.
+func (s *Syzkaller) Obs() *obs.Registry { return s.eng.Obs() }
 
 // Step generates and executes one program sequentially on an
 // uninstrumented kernel (no OEMU, no profiling — syzkaller's kernel).
@@ -102,18 +114,28 @@ type Interleaver struct {
 	Execs   uint64
 }
 
-// NewInterleaver builds the interleaving-only baseline.
+// NewInterleaver builds the interleaving-only baseline with a private
+// metrics registry. Equivalent to NewInterleaverObs(mods, bugs, seed, nil).
 func NewInterleaver(mods []string, bugs modules.BugSet, seed int64) *Interleaver {
+	return NewInterleaverObs(mods, bugs, seed, nil)
+}
+
+// NewInterleaverObs builds the interleaving-only baseline publishing
+// engine lifecycle metrics into reg (nil = a fresh private registry).
+func NewInterleaverObs(mods []string, bugs modules.BugSet, seed int64, reg *obs.Registry) *Interleaver {
 	return &Interleaver{
 		Modules: mods,
 		Bugs:    bugs,
 		Seed:    seed,
 		target:  modules.Target(mods...),
 		rng:     rand.New(rand.NewSource(seed)),
-		eng:     engine.New(),
+		eng:     engine.NewObs(reg),
 		Reports: report.NewSet(),
 	}
 }
+
+// Obs returns the registry the baseline's engine publishes into.
+func (iv *Interleaver) Obs() *obs.Registry { return iv.eng.Obs() }
 
 // ExecPair runs the program with calls i and j concurrent under a random
 // (seeded) schedule — thread interleaving control WITHOUT any memory

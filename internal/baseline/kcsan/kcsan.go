@@ -24,6 +24,7 @@ import (
 	"ozz/internal/engine"
 	"ozz/internal/kernel"
 	"ozz/internal/modules"
+	"ozz/internal/obs"
 	"ozz/internal/sched"
 	"ozz/internal/syzlang"
 	"ozz/internal/trace"
@@ -56,10 +57,20 @@ type Detector struct {
 	Races []*Race
 }
 
-// New builds a detector.
+// New builds a detector with a private metrics registry. Equivalent to
+// NewObs(mods, bugs, seed, nil).
 func New(mods []string, bugs modules.BugSet, seed int64) *Detector {
-	return &Detector{Modules: mods, Bugs: bugs, SampleEvery: 3, Seed: seed, eng: engine.New()}
+	return NewObs(mods, bugs, seed, nil)
 }
+
+// NewObs builds a detector publishing engine lifecycle metrics into reg
+// (nil = a fresh private registry).
+func NewObs(mods []string, bugs modules.BugSet, seed int64, reg *obs.Registry) *Detector {
+	return &Detector{Modules: mods, Bugs: bugs, SampleEvery: 3, Seed: seed, eng: engine.NewObs(reg)}
+}
+
+// Obs returns the registry the detector's engine publishes into.
+func (d *Detector) Obs() *obs.Registry { return d.eng.Obs() }
 
 // watchpoint is the active watch, if any.
 type watchpoint struct {

@@ -26,7 +26,8 @@ type KCSANRow struct {
 func RunKCSANComparison(budget int) []KCSANRow {
 	scenario := func(name, mod, sw, seedProg, comment string) KCSANRow {
 		// KCSAN side.
-		d := kcsan.New([]string{mod}, modules.Bugs(sw), 1)
+		reg, _ := instrumented()
+		d := kcsan.NewObs([]string{mod}, modules.Bugs(sw), 1, reg)
 		target := modules.Target(mod)
 		p, err := target.Parse(seedProg)
 		if err != nil {
@@ -36,9 +37,9 @@ func RunKCSANComparison(budget int) []KCSANRow {
 
 		// OZZ side.
 		b, _ := modules.FindBug(sw)
-		f := core.NewFuzzer(core.Config{
+		f := core.NewFuzzer(campaignConfig(core.Config{
 			Modules: []string{mod}, Bugs: modules.Bugs(sw), Seed: 42, UseSeeds: true,
-		})
+		}))
 		want := b.Title
 		if want == "" {
 			want = b.SoftTitle

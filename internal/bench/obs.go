@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"sync"
+
+	"ozz/internal/core"
+	"ozz/internal/obs"
+)
+
+// instMu guards the package-level instrumentation settings; bench
+// harnesses read them when constructing campaigns.
+var instMu sync.Mutex
+var instReg *obs.Registry
+var instEv *obs.EventLog
+
+// Instrument routes every campaign the bench harnesses construct —
+// OZZ fuzzers, pools, and the baselines — into one shared registry and
+// event log (either may be nil). cmd/ozz-bench wires its -metrics-addr
+// and -events flags through here so a whole table regeneration is
+// scrapable from one endpoint. Sharing one registry makes engine
+// kernel/cache counters cumulative across the campaigns it covers.
+// Purely observational: table contents are unchanged.
+func Instrument(reg *obs.Registry, ev *obs.EventLog) {
+	instMu.Lock()
+	instReg, instEv = reg, ev
+	instMu.Unlock()
+}
+
+// instrumented returns the current instrumentation settings.
+func instrumented() (*obs.Registry, *obs.EventLog) {
+	instMu.Lock()
+	defer instMu.Unlock()
+	return instReg, instEv
+}
+
+// campaignConfig stamps the bench instrumentation onto a campaign config.
+func campaignConfig(cfg core.Config) core.Config {
+	cfg.Obs, cfg.Events = instrumented()
+	return cfg
+}

@@ -26,12 +26,12 @@ type BugRunResult struct {
 // runBug runs a seeded OZZ campaign against one bug (plus extra switches)
 // and reports the outcome.
 func runBug(b modules.BugInfo, budget int, extra ...string) BugRunResult {
-	f := core.NewFuzzer(core.Config{
+	f := core.NewFuzzer(campaignConfig(core.Config{
 		Modules:  []string{b.Module},
 		Bugs:     modules.Bugs(append([]string{b.Switch}, extra...)...),
 		Seed:     42,
 		UseSeeds: true,
-	})
+	}))
 	want := b.Title
 	if want == "" {
 		want = b.SoftTitle

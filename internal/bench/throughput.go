@@ -57,7 +57,8 @@ func MeasureThroughput(budget time.Duration, mods []string, bugs modules.BugSet)
 // 4, … N workers.
 func MeasureThroughputWorkers(budget time.Duration, mods []string, bugs modules.BugSet, workers []int) ThroughputResult {
 	// Baseline: syzkaller-style sequential fuzzing on the plain kernel.
-	sz := inorder.NewSyzkaller(mods, bugs, 1)
+	reg, _ := instrumented()
+	sz := inorder.NewSyzkallerObs(mods, bugs, 1, reg)
 	start := time.Now()
 	for time.Since(start) < budget {
 		for i := 0; i < 8; i++ {
@@ -67,7 +68,7 @@ func MeasureThroughputWorkers(budget time.Duration, mods []string, bugs modules.
 	szRate := float64(sz.Execs) / time.Since(start).Seconds()
 
 	// OZZ: the full pipeline (STI + profile + hints + MTIs).
-	f := core.NewFuzzer(core.Config{Modules: mods, Bugs: bugs, Seed: 1, UseSeeds: true})
+	f := core.NewFuzzer(campaignConfig(core.Config{Modules: mods, Bugs: bugs, Seed: 1, UseSeeds: true}))
 	start = time.Now()
 	for time.Since(start) < budget {
 		f.Step()
@@ -91,7 +92,7 @@ func MeasureThroughputWorkers(budget time.Duration, mods []string, bugs modules.
 	// Worker-scaling rows: same campaign Config through the Pool executor.
 	var base float64
 	for _, w := range workers {
-		p := core.NewPool(core.Config{Modules: mods, Bugs: bugs, Seed: 1, UseSeeds: true}, w)
+		p := core.NewPool(campaignConfig(core.Config{Modules: mods, Bugs: bugs, Seed: 1, UseSeeds: true}), w)
 		p.RunFor(budget)
 		s := p.Stats()
 		row := ParallelRow{Workers: p.Workers, TestsPerSec: s.Perf.TestsPerSec}

@@ -14,6 +14,7 @@ import (
 
 	"ozz/internal/engine"
 	"ozz/internal/modules"
+	"ozz/internal/obs"
 	"ozz/internal/syzlang"
 )
 
@@ -44,13 +45,24 @@ type Env struct {
 	eng *engine.Engine
 }
 
-// NewEnv returns an instrumented environment over a fresh engine.
+// NewEnv returns an instrumented environment over a fresh engine with a
+// private metrics registry. Equivalent to NewEnvObs(mods, bugs, nil).
 func NewEnv(mods []string, bugs modules.BugSet) *Env {
-	return &Env{Modules: mods, Bugs: bugs, Instrumented: true, eng: engine.New()}
+	return NewEnvObs(mods, bugs, nil)
+}
+
+// NewEnvObs returns an instrumented environment whose engine publishes
+// lifecycle metrics into reg (nil = a fresh private registry).
+func NewEnvObs(mods []string, bugs modules.BugSet, reg *obs.Registry) *Env {
+	return &Env{Modules: mods, Bugs: bugs, Instrumented: true, eng: engine.NewObs(reg)}
 }
 
 // Engine exposes the underlying execution engine (recycler + cache).
 func (e *Env) Engine() *engine.Engine { return e.eng }
+
+// Obs returns the metrics registry the environment's engine publishes
+// into.
+func (e *Env) Obs() *obs.Registry { return e.eng.Obs() }
 
 // config snapshots the environment's mutable fields into an engine
 // config. Built per call so post-construction field writes (tests, the

@@ -7,6 +7,7 @@ import (
 
 	"ozz/internal/hints"
 	"ozz/internal/modules"
+	"ozz/internal/obs"
 	"ozz/internal/report"
 	"ozz/internal/syzlang"
 )
@@ -39,6 +40,17 @@ type Config struct {
 	// InterruptOnSwitch forwards to Env (the interrupt-injection
 	// ablation).
 	InterruptOnSwitch bool
+	// Obs, when non-nil, is the metrics registry the campaign and its
+	// engine publish into; nil gives the campaign a fresh private
+	// registry (retrieve it with Obs()). Sharing one registry across
+	// campaigns is legal but makes the engine's kernel/cache counters
+	// cumulative across them. Purely observational: it never affects the
+	// deterministic counters or findings.
+	Obs *obs.Registry
+	// Events, when non-nil, receives the campaign's structured JSONL
+	// event stream (one "step" event per completed step, worker-tagged).
+	// Nil disables event logging at zero cost.
+	Events *obs.EventLog
 }
 
 // normalize resolves the campaign-level defaults shared by the serial
@@ -57,9 +69,9 @@ func (c *Config) normalize() {
 }
 
 // newEnvFromConfig builds the execution environment both campaign
-// executors share, forwarding the config's kernel knobs.
+// executors share, forwarding the config's kernel knobs and registry.
 func newEnvFromConfig(cfg Config) *Env {
-	env := NewEnv(cfg.Modules, cfg.Bugs)
+	env := NewEnvObs(cfg.Modules, cfg.Bugs, cfg.Obs)
 	env.NrCPU = cfg.NrCPU
 	env.InterruptOnSwitch = cfg.InterruptOnSwitch
 	return env
@@ -75,7 +87,7 @@ type Stats struct {
 	Hints     uint64 // scheduling hints computed
 	Vacuous   uint64 // MTIs whose scheduling point never fired
 	NewCov    uint64 // runs that grew coverage
-	CorpusLen int
+	CorpusLen int    // programs in the coverage corpus
 
 	// Perf holds throughput and reuse metrics. Unlike the counters above
 	// these depend on wall-clock time and goroutine scheduling, so they
@@ -86,14 +98,14 @@ type Stats struct {
 // PerfStats are the scheduling-dependent campaign metrics (§6.3.2
 // throughput and the executor's state-reuse rates).
 type PerfStats struct {
-	Workers         int
-	Elapsed         time.Duration
-	TestsPerSec     float64 // campaign steps per second
-	ExecsPerSec     float64 // kernel executions per second (all workers)
-	STICacheHits    uint64
-	STICacheMisses  uint64
-	KernelsRecycled uint64
-	KernelsBuilt    uint64
+	Workers         int           // campaign executor width (the pool's worker count; 1 serial)
+	Elapsed         time.Duration // wall-clock time covered by the counters below
+	TestsPerSec     float64       // campaign steps per second
+	ExecsPerSec     float64       // kernel executions per second (all workers)
+	STICacheHits    uint64        // STI profile lookups served from the cache
+	STICacheMisses  uint64        // STI profile lookups that ran a profiling execution
+	KernelsRecycled uint64        // kernel acquisitions reusing a pooled instance (Reset)
+	KernelsBuilt    uint64        // kernel acquisitions that constructed a fresh instance
 }
 
 // STICacheHitRate returns the fraction of STI profile lookups served from
@@ -137,6 +149,7 @@ type Fuzzer struct {
 	target *syzlang.Target
 	rng    *rand.Rand
 	start  time.Time
+	co     *campaignObs
 
 	corpus []*syzlang.Program
 	seeds  []*syzlang.Program
@@ -151,15 +164,20 @@ type Fuzzer struct {
 // NewFuzzer builds a fuzzer for the configuration.
 func NewFuzzer(cfg Config) *Fuzzer {
 	cfg.normalize()
+	env := newEnvFromConfig(cfg)
 	f := &Fuzzer{
 		cfg:     cfg,
-		env:     newEnvFromConfig(cfg),
+		env:     env,
 		target:  modules.Target(cfg.Modules...),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		start:   time.Now(),
+		co:      newCampaignObs(env.Obs(), cfg.Events),
 		cov:     make(map[uint64]struct{}),
 		Reports: report.NewSet(),
 	}
+	// Claim executor width 1 only if no pool sharing this registry
+	// already claimed its real width.
+	f.co.claimWorkers(1, false)
 	if cfg.UseSeeds {
 		for _, src := range modules.Seeds(cfg.Modules...) {
 			if p, err := f.target.Parse(src); err == nil {
@@ -173,11 +191,17 @@ func NewFuzzer(cfg Config) *Fuzzer {
 // Env exposes the execution environment (for tools layered on the fuzzer).
 func (f *Fuzzer) Env() *Env { return f.env }
 
+// Obs returns the metrics registry the campaign publishes into.
+func (f *Fuzzer) Obs() *obs.Registry { return f.co.reg }
+
 // Snapshot returns the campaign counters with the Perf block filled in
-// from the environment's reuse counters and the elapsed wall clock.
+// from the registry: the environment's reuse counters, the campaign
+// worker-width gauge, and the elapsed wall clock. Reading the width from
+// the registry (instead of hardcoding 1) makes Stats views over a shared
+// registry report the pool's actual worker count.
 func (f *Fuzzer) Snapshot() Stats {
 	s := f.Stats
-	s.Perf.Workers = 1
+	s.Perf.Workers = f.co.workersValue()
 	s.Perf.Elapsed = time.Since(f.start)
 	s.Perf.STICacheHits, s.Perf.STICacheMisses = f.env.STICacheCounters()
 	s.Perf.KernelsRecycled, s.Perf.KernelsBuilt = f.env.KernelCounters()
@@ -226,18 +250,34 @@ func (f *Fuzzer) CoverageEdges() int { return len(f.cov) }
 // Step runs one fuzzer iteration and returns the new reports it produced.
 func (f *Fuzzer) Step() []*report.Report {
 	f.Stats.Steps++
+	f.co.steps.Inc()
+	stepIdx := f.Stats.Steps
+	gStart := time.Now()
 	p := f.nextProgram()
+	observe(f.co.stGenerate, gStart)
 
 	// Phase 1: single-threaded profiling run (§4.2), memoized — repeat
 	// programs (seed replays, stable mutants) skip re-profiling.
+	pStart := time.Now()
 	sti := f.env.RunSTICached(p)
+	observe(f.co.stProfile, pStart)
 	f.Stats.STIs++
+	f.co.stis.Inc()
 	var found []*report.Report
 	if f.mergeCov(sti.Cov) {
 		f.Stats.NewCov++
+		f.co.newCov.Inc()
 		f.corpus = append(f.corpus, p)
 		f.Stats.CorpusLen = len(f.corpus)
 	}
+	defer func() {
+		f.co.covEdges.Set(float64(len(f.cov)))
+		f.co.corpusLen.Set(float64(len(f.corpus)))
+		f.co.ev.Info(0, "step", map[string]any{
+			"step": stepIdx, "mtis": f.Stats.MTIs, "new_reports": len(found),
+			"corpus": len(f.corpus), "cov_edges": len(f.cov),
+		})
+	}()
 	if sti.Crash != nil {
 		r := &report.Report{
 			Title:   sti.Crash.Title,
@@ -245,14 +285,18 @@ func (f *Fuzzer) Step() []*report.Report {
 			OOO:     false,
 			Program: p.String(),
 		}
-		if f.Reports.Add(r) {
+		added := f.Reports.Add(r)
+		f.co.reportOutcome(added, r.OOO)
+		if added {
 			found = append(found, r)
 		}
 		return found // crashing input: nothing to pair
 	}
 	for _, s := range sti.Soft {
 		r := &report.Report{Title: s, Oracle: "semantic", OOO: false, Program: p.String()}
-		if f.Reports.Add(r) {
+		added := f.Reports.Add(r)
+		f.co.reportOutcome(added, r.OOO)
+		if added {
 			found = append(found, r)
 		}
 	}
@@ -267,17 +311,24 @@ func (f *Fuzzer) Step() []*report.Report {
 		if len(sti.CallEvents[i]) == 0 || len(sti.CallEvents[j]) == 0 {
 			continue
 		}
+		hStart := time.Now()
 		hs := hints.Calculate(sti.CallEvents[i], sti.CallEvents[j])
+		observe(f.co.stHints, hStart)
 		f.Stats.Hints += uint64(len(hs))
+		f.co.hintsTotal.Add(uint64(len(hs)))
 		orderHints(hs, f.cfg.HintOrder, f.rng)
 		if len(hs) > f.cfg.MaxHintsPerPair {
 			hs = hs[:f.cfg.MaxHintsPerPair]
 		}
 		for rank, h := range hs {
+			mStart := time.Now()
 			res := f.env.RunMTI(MTIOpts{Prog: p, I: i, J: j, Hint: h})
+			observe(f.co.stMTI, mStart)
 			f.Stats.MTIs++
+			f.co.mtis.Inc()
 			if !res.Fired {
 				f.Stats.Vacuous++
+				f.co.vacuous.Inc()
 			}
 			f.mergeCov(res.Cov)
 			found = append(found, f.harvest(p, i, j, h, rank, res)...)
@@ -290,7 +341,9 @@ func (f *Fuzzer) Step() []*report.Report {
 func (f *Fuzzer) harvest(p *syzlang.Program, i, j int, h *hints.Hint, rank int, res *MTIResult) []*report.Report {
 	var found []*report.Report
 	add := func(r *report.Report) {
-		if f.Reports.Add(r) {
+		added := f.Reports.Add(r)
+		f.co.reportOutcome(added, r.OOO)
+		if added {
 			found = append(found, r)
 		}
 	}
@@ -300,7 +353,9 @@ func (f *Fuzzer) harvest(p *syzlang.Program, i, j int, h *hints.Hint, rank int, 
 			// Triage: re-run the same schedule without reordering
 			// directives. If the crash still reproduces in order,
 			// it is a plain interleaving race, not an OOO bug.
+			tStart := time.Now()
 			rerun := f.env.RunMTI(MTIOpts{Prog: p, I: i, J: j, Hint: h, NoReorder: true})
+			observe(f.co.stTriage, tStart)
 			if rerun.Crash != nil && rerun.Crash.Title == res.Crash.Title {
 				ooo = false
 			}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"time"
+
+	"ozz/internal/obs"
+)
+
+// stageNames are the fuzzing pipeline stages timed by
+// ozz_stage_duration_seconds, in label order: program selection,
+// STI profiling, hint computation (Algorithm 1/2), MTI pair execution,
+// the OOO triage re-run, and the pool's index-ordered batch merge.
+var stageNames = []string{"generate", "profile", "hints", "mti", "triage", "merge"}
+
+// campaignObs is the campaign layer's handle bundle into an obs.Registry:
+// workflow counters mirroring the deterministic Stats block, campaign
+// gauges, report dedup outcomes, and per-stage latency histograms. The
+// registry mirrors Stats — it never replaces it: Stats counters stay the
+// deterministic source of truth (conformance goldens compare them), while
+// the registry adds wall-clock timings and process-wide visibility.
+// Incrementing these never influences execution.
+type campaignObs struct {
+	reg *obs.Registry
+	ev  *obs.EventLog
+
+	steps, stis, mtis, hintsTotal, vacuous, newCov *obs.Counter
+	covEdges, corpusLen, workers                   *obs.Gauge
+	reportsNew, reportsDup, reportsOOO             *obs.Counter
+
+	// stage histogram children, indexed like stageNames.
+	stGenerate, stProfile, stHints, stMTI, stTriage, stMerge *obs.Histogram
+}
+
+// newCampaignObs registers the campaign metric families on reg (creating
+// every stage child up front so a scrape is complete before any step) and
+// attaches the optional event log.
+func newCampaignObs(reg *obs.Registry, ev *obs.EventLog) *campaignObs {
+	c := &campaignObs{reg: reg, ev: ev}
+	c.steps = reg.Counter("ozz_campaign_steps_total",
+		"Fuzzer iterations completed (one STI plus its hint-driven MTIs).")
+	c.stis = reg.Counter("ozz_campaign_stis_total",
+		"Single-threaded (profiling) executions completed.")
+	c.mtis = reg.Counter("ozz_campaign_mtis_total",
+		"Multi-threaded (hypothetical barrier) test executions completed.")
+	c.hintsTotal = reg.Counter("ozz_campaign_hints_total",
+		"Scheduling hints computed by Algorithm 1/2 (paper §4.3).")
+	c.vacuous = reg.Counter("ozz_campaign_vacuous_mtis_total",
+		"MTIs whose scheduling point never fired (wasted pair runs).")
+	c.newCov = reg.Counter("ozz_campaign_new_coverage_runs_total",
+		"Steps whose STI grew the global coverage map (corpus admissions).")
+	c.covEdges = reg.Gauge("ozz_campaign_coverage_edges",
+		"Distinct KCov edges covered so far.")
+	c.corpusLen = reg.Gauge("ozz_campaign_corpus_programs",
+		"Programs in the coverage corpus.")
+	c.workers = reg.Gauge("ozz_campaign_workers",
+		"Campaign executor width (1 for the serial fuzzer; the pool's worker count otherwise).")
+
+	outcomes := reg.CounterVec("ozz_reports_total",
+		"Crash/soft reports by dedup outcome at the campaign report set.", "outcome")
+	c.reportsNew = outcomes.With("new")
+	c.reportsDup = outcomes.With("duplicate")
+	c.reportsOOO = reg.Counter("ozz_reports_ooo_total",
+		"New reports classified as genuine out-of-order bugs by the triage re-run.")
+
+	stages := reg.HistogramVec("ozz_stage_duration_seconds",
+		"Wall-clock duration of one pipeline stage execution, seconds.",
+		obs.DurationBuckets(), "stage")
+	children := make([]*obs.Histogram, len(stageNames))
+	for i, s := range stageNames {
+		children[i] = stages.With(s)
+	}
+	c.stGenerate, c.stProfile, c.stHints, c.stMTI, c.stTriage, c.stMerge =
+		children[0], children[1], children[2], children[3], children[4], children[5]
+	return c
+}
+
+// observe records one stage execution's duration.
+func observe(h *obs.Histogram, start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// reportOutcome tallies one report-set insertion attempt: added says
+// whether the report was new, ooo whether a new report is a confirmed OOO
+// bug.
+func (c *campaignObs) reportOutcome(added, ooo bool) {
+	if !added {
+		c.reportsDup.Inc()
+		return
+	}
+	c.reportsNew.Inc()
+	if ooo {
+		c.reportsOOO.Inc()
+	}
+}
+
+// workersValue reads the campaign worker-width gauge as an int.
+func (c *campaignObs) workersValue() int { return int(c.workers.Value()) }
+
+// claimWorkers sets the worker-width gauge. The serial fuzzer only claims
+// width 1 when nothing else (a pool sharing the registry) has claimed a
+// real width — so Stats views over a shared registry report the pool's
+// actual worker count, not a hardcoded 1.
+func (c *campaignObs) claimWorkers(n int, force bool) {
+	if force || c.workers.Value() == 0 {
+		c.workers.Set(float64(n))
+	}
+}

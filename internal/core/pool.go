@@ -9,6 +9,7 @@ import (
 
 	"ozz/internal/hints"
 	"ozz/internal/modules"
+	"ozz/internal/obs"
 	"ozz/internal/report"
 	"ozz/internal/syzlang"
 )
@@ -163,6 +164,7 @@ type Pool struct {
 	cfg    Config
 	env    *Env
 	target *syzlang.Target
+	co     *campaignObs
 
 	// Cov is the global coverage set, concurrently readable.
 	Cov *ShardedCov
@@ -185,14 +187,19 @@ func NewPool(cfg Config, workers int) *Pool {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	cfg.normalize()
+	env := newEnvFromConfig(cfg)
 	p := &Pool{
 		Workers: workers,
 		cfg:     cfg,
-		env:     newEnvFromConfig(cfg),
+		env:     env,
 		target:  modules.Target(cfg.Modules...),
+		co:      newCampaignObs(env.Obs(), cfg.Events),
 		Cov:     NewShardedCov(),
 		Reports: NewSafeReportSet(),
 	}
+	// The pool's width is authoritative for any Stats view over this
+	// registry (the Snapshot-hardcodes-1 fix).
+	p.co.claimWorkers(workers, true)
 	if cfg.UseSeeds {
 		for _, src := range modules.Seeds(cfg.Modules...) {
 			if sp, err := p.target.Parse(src); err == nil {
@@ -206,6 +213,9 @@ func NewPool(cfg Config, workers int) *Pool {
 // Env exposes the shared execution environment (profile cache and kernel
 // recycler included).
 func (p *Pool) Env() *Env { return p.env }
+
+// Obs returns the metrics registry the campaign publishes into.
+func (p *Pool) Obs() *obs.Registry { return p.co.reg }
 
 // AddSeeds enqueues programs to run ahead of random generation (corpus
 // resume). Call before Run.
@@ -325,10 +335,19 @@ func (p *Pool) planStep(idx uint64) job {
 
 // runJob executes one campaign step: STI profile (cached), scheduling
 // hints, and the pair's MTI runs — the worker-side mirror of Fuzzer.Step,
-// writing only to the job-local result.
-func (p *Pool) runJob(jb job) jobResult {
+// writing only to the job-local result. wid tags this worker's event
+// stream (1..Workers).
+func (p *Pool) runJob(jb job, wid int) jobResult {
 	res := jobResult{idx: jb.idx, prog: jb.prog}
+	defer func() {
+		p.co.ev.Info(wid, "step", map[string]any{
+			"step": jb.idx, "mtis": res.mtis, "hints": res.hints,
+			"vacuous": res.vacuous, "reports": len(res.reports),
+		})
+	}()
+	pStart := time.Now()
 	sti := p.env.RunSTICached(jb.prog)
+	observe(p.co.stProfile, pStart)
 	res.stiCov = sti.Cov
 	if sti.Crash != nil {
 		res.reports = append(res.reports, jobReport{r: &report.Report{
@@ -355,14 +374,18 @@ func (p *Pool) runJob(jb job) jobResult {
 		if len(sti.CallEvents[i]) == 0 || len(sti.CallEvents[j]) == 0 {
 			continue
 		}
+		hStart := time.Now()
 		hs := hints.Calculate(sti.CallEvents[i], sti.CallEvents[j])
+		observe(p.co.stHints, hStart)
 		res.hints += uint64(len(hs))
 		orderHints(hs, p.cfg.HintOrder, jb.rng)
 		if len(hs) > p.cfg.MaxHintsPerPair {
 			hs = hs[:p.cfg.MaxHintsPerPair]
 		}
 		for rank, h := range hs {
+			mStart := time.Now()
 			mres := p.env.RunMTI(MTIOpts{Prog: jb.prog, I: i, J: j, Hint: h})
+			observe(p.co.stMTI, mStart)
 			res.mtis++
 			if !mres.Fired {
 				res.vacuous++
@@ -382,7 +405,9 @@ func (p *Pool) harvestJob(res *jobResult, prog *syzlang.Program, i, j int, h *hi
 	if mres.Crash != nil {
 		ooo := !mres.PrefixCrash
 		if ooo {
+			tStart := time.Now()
 			rerun := p.env.RunMTI(MTIOpts{Prog: prog, I: i, J: j, Hint: h, NoReorder: true})
+			observe(p.co.stTriage, tStart)
 			if rerun.Crash != nil && rerun.Crash.Title == mres.Crash.Title {
 				ooo = false
 			}
@@ -429,8 +454,14 @@ func (p *Pool) merge(res *jobResult, found *[]*report.Report) {
 	p.stats.MTIs += res.mtis
 	p.stats.Hints += res.hints
 	p.stats.Vacuous += res.vacuous
+	p.co.steps.Inc()
+	p.co.stis.Inc()
+	p.co.mtis.Add(res.mtis)
+	p.co.hintsTotal.Add(res.hints)
+	p.co.vacuous.Add(res.vacuous)
 	if p.Cov.MergeNew(res.stiCov) > 0 {
 		p.stats.NewCov++
+		p.co.newCov.Inc()
 		p.corpus = append(p.corpus, res.prog)
 		p.stats.CorpusLen = len(p.corpus)
 	}
@@ -441,10 +472,13 @@ func (p *Pool) merge(res *jobResult, found *[]*report.Report) {
 		if jr.rebaseTests {
 			jr.r.Tests += int(base)
 		}
-		if p.Reports.Add(jr.r) {
+		added := p.Reports.Add(jr.r)
+		p.co.reportOutcome(added, jr.r.OOO)
+		if added {
 			*found = append(*found, jr.r)
 		}
 	}
+	p.co.corpusLen.Set(float64(len(p.corpus)))
 }
 
 // Run executes `steps` campaign steps across the pool's workers and
@@ -475,12 +509,12 @@ func (p *Pool) run(steps int, deadline time.Time) []*report.Report {
 	var wg sync.WaitGroup
 	for w := 0; w < p.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(wid int) {
 			defer wg.Done()
 			for jb := range jobs {
-				results <- p.runJob(jb)
+				results <- p.runJob(jb, wid)
 			}
-		}()
+		}(w + 1)
 	}
 
 	var found []*report.Report
@@ -497,7 +531,9 @@ func (p *Pool) run(steps int, deadline time.Time) []*report.Report {
 		p.mu.Lock()
 		batch := make([]job, n)
 		for bi := 0; bi < n; bi++ {
+			gStart := time.Now()
 			batch[bi] = p.planStep(p.steps)
+			observe(p.co.stGenerate, gStart)
 			p.steps++
 		}
 		p.mu.Unlock()
@@ -513,11 +549,14 @@ func (p *Pool) run(steps int, deadline time.Time) []*report.Report {
 		}
 		// Merge in step-index order.
 		p.mu.Lock()
+		mStart := time.Now()
 		for _, jb := range batch {
 			p.merge(pending[jb.idx], &found)
 		}
+		observe(p.co.stMerge, mStart)
 		p.fillPerf(&p.stats)
 		p.mu.Unlock()
+		p.co.covEdges.Set(float64(p.Cov.Len()))
 		if remaining > 0 {
 			remaining -= n
 		}

@@ -2,7 +2,8 @@ package engine
 
 import (
 	"sync"
-	"sync/atomic"
+
+	"ozz/internal/obs"
 )
 
 // cacheCap bounds the number of cached profiling results. When the cap is
@@ -24,7 +25,9 @@ type resultCache struct {
 	mu sync.RWMutex
 	m  map[string]*Result
 
-	hits, misses atomic.Uint64
+	// hits/misses are the engine registry's ozz_sti_cache_lookups_total
+	// children, wired at engine construction.
+	hits, misses *obs.Counter
 }
 
 func (c *resultCache) get(key string) *Result {
@@ -32,7 +35,7 @@ func (c *resultCache) get(key string) *Result {
 	r := c.m[key]
 	c.mu.RUnlock()
 	if r != nil {
-		c.hits.Add(1)
+		c.hits.Inc()
 	}
 	return r
 }
@@ -57,7 +60,7 @@ func (e *Engine) RunCached(cfg Config, s Strategy, req Request) *Result {
 	if r := e.cache.get(key); r != nil {
 		return r
 	}
-	e.cache.misses.Add(1)
+	e.cache.misses.Inc()
 	r := e.Run(cfg, s, req)
 	e.cache.put(key, r)
 	return r
@@ -68,5 +71,5 @@ func (e *Engine) RunCached(cfg Config, s Strategy, req Request) *Result {
 // results are identical), so hits+misses can slightly exceed the number
 // of lookups that found an entry present.
 func (e *Engine) CacheCounters() (hits, misses uint64) {
-	return e.cache.hits.Load(), e.cache.misses.Load()
+	return e.cache.hits.Value(), e.cache.misses.Value()
 }

@@ -11,11 +11,12 @@ package engine
 
 import (
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"ozz/internal/hints"
 	"ozz/internal/kernel"
 	"ozz/internal/modules"
+	"ozz/internal/obs"
 	"ozz/internal/oemu"
 	"ozz/internal/sched"
 	"ozz/internal/syzlang"
@@ -26,6 +27,7 @@ import (
 // scheduling hint, and the per-run knobs. Strategy implementations read
 // the fields they understand and ignore the rest.
 type Request struct {
+	// Prog is the syzlang program to execute.
 	Prog *syzlang.Program
 	// I and J index the pair of calls to run concurrently (I < J). Unused
 	// by sequential runs.
@@ -91,16 +93,36 @@ type Engine struct {
 	// and allocator state from scratch. sync.Pool is concurrency-safe, so
 	// parallel campaign workers share one recycler.
 	kpool sync.Pool
-	// recycled/built count kernel acquisitions served from the pool vs.
-	// constructed fresh (the pool recycle-rate metric).
-	recycled, built atomic.Uint64
 
 	// cache memoizes sequential profiling runs (see cache.go).
 	cache resultCache
+
+	// m holds the engine's pre-resolved metric handles (see obs.go).
+	// Every lifecycle counter — kernel acquisitions, cache lookups, run
+	// outcomes, OEMU/scheduler activity — is registry-backed.
+	m *metrics
 }
 
-// New returns an empty engine.
-func New() *Engine { return &Engine{} }
+// New returns an engine with its own private metrics registry (retrieve
+// it with Obs). Equivalent to NewObs(nil).
+func New() *Engine { return NewObs(nil) }
+
+// NewObs returns an engine publishing its lifecycle metrics into reg
+// (nil = a fresh private registry). Sharing one registry across engines
+// is legal — registration is get-or-create — but makes the kernel/cache
+// counters cumulative across all sharing engines.
+func NewObs(reg *obs.Registry) *Engine {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{m: newMetrics(reg)}
+	e.cache.hits = e.m.cacheHits
+	e.cache.misses = e.m.cacheMisses
+	return e
+}
+
+// Obs returns the registry this engine publishes into.
+func (e *Engine) Obs() *obs.Registry { return e.m.reg }
 
 // Run executes one request under the strategy. The config is normalized
 // (defaults resolved) before use.
@@ -111,6 +133,7 @@ func (e *Engine) Run(cfg Config, s Strategy, req Request) *Result {
 // run is Run with an injectable module builder (white-box tests).
 func (e *Engine) run(cfg Config, s Strategy, req Request, build buildFunc) *Result {
 	cfg.normalize()
+	start := time.Now()
 	k := e.acquire(&cfg)
 	var impls map[string]modules.Impl
 	if build != nil {
@@ -119,16 +142,25 @@ func (e *Engine) run(cfg Config, s Strategy, req Request, build buildFunc) *Resu
 		impls = modules.Build(k, cfg.Bugs, cfg.Modules...)
 	}
 	s.Attach(k, &req)
+	var res *Result
+	shape := "sequential"
 	if plan := s.Pair(&cfg, &req); plan != nil {
-		return e.runPair(k, impls, &cfg, &req, plan)
+		shape = "pair"
+		res = e.runPair(k, impls, &cfg, &req, plan)
+	} else {
+		res = e.runSequential(k, impls, &cfg, &req)
 	}
-	return e.runSequential(k, impls, &cfg, &req)
+	// Publication is observation only: counters and wall-clock timings,
+	// never anything a deterministic execution depends on.
+	e.m.publishRun(s.Name(), shape, time.Since(start), res, k.Em.Counters())
+	e.release(k)
+	return res
 }
 
 // KernelCounters reports how many kernel acquisitions were recycled from
 // the pool vs. built fresh.
 func (e *Engine) KernelCounters() (recycled, built uint64) {
-	return e.recycled.Load(), e.built.Load()
+	return e.m.kernelRecycled.Value(), e.m.kernelBuilt.Value()
 }
 
 // RecycleRate returns the fraction of kernel acquisitions served by the
@@ -146,15 +178,17 @@ func (e *Engine) RecycleRate() float64 {
 // freshly-constructed kernel: Reset restores every observable property
 // (memory content, sanitizer state, emulator clock, site tables).
 func (e *Engine) acquire(cfg *Config) *kernel.Kernel {
+	start := time.Now()
 	var k *kernel.Kernel
 	if v := e.kpool.Get(); v != nil {
 		k = v.(*kernel.Kernel)
 		k.Reset()
-		e.recycled.Add(1)
+		e.m.kernelRecycled.Inc()
 	} else {
 		k = kernel.New(cfg.NrCPU)
-		e.built.Add(1)
+		e.m.kernelBuilt.Inc()
 	}
+	e.m.acquireDur.Observe(time.Since(start).Seconds())
 	k.Instrumented = cfg.Instrumented
 	k.Sanitizers = cfg.Sanitizers
 	return k
@@ -234,6 +268,7 @@ func (e *Engine) runSequential(k *kernel.Kernel, impls map[string]modules.Impl, 
 		}
 	})
 	aborted := session.Run()
+	e.m.observeSession(session)
 	// Capture the crashing call's partial profile.
 	if task.Prof != nil {
 		for ci := range res.CallEvents {
@@ -247,7 +282,6 @@ func (e *Engine) runSequential(k *kernel.Kernel, impls map[string]modules.Impl, 
 	classifyAbort(aborted, res)
 	res.Cov = k.Cov
 	res.Soft = k.Soft
-	e.release(k)
 	return res
 }
 
@@ -273,11 +307,12 @@ func (e *Engine) runPair(k *kernel.Kernel, impls map[string]modules.Impl, cfg *C
 			returns[ci] = execCall(prefixTask, impls, c, resolveArgs(c, returns))
 		}
 	})
-	if aborted := prefix.Run(); aborted != nil {
+	aborted := prefix.Run()
+	e.m.observeSession(prefix)
+	if aborted != nil {
 		classifyAbort(aborted, res)
 		res.PrefixCrash = true
 		res.Cov = k.Cov
-		e.release(k)
 		return res
 	}
 
@@ -298,7 +333,9 @@ func (e *Engine) runPair(k *kernel.Kernel, impls map[string]modules.Impl, cfg *C
 	}
 	session.Spawn(1, 1, runPair(taskA, plan.CallA))
 	session.Spawn(2, 2, runPair(taskB, plan.CallB))
-	classifyAbort(session.Run(), res)
+	pairAborted := session.Run()
+	e.m.observeSession(session)
+	classifyAbort(pairAborted, res)
 	if plan.Finish != nil {
 		plan.Finish(res, taskA, taskB)
 	}
@@ -314,11 +351,12 @@ func (e *Engine) runPair(k *kernel.Kernel, impls map[string]modules.Impl, cfg *C
 				returns[ci] = execCall(prefixTask, impls, c, resolveArgs(c, returns))
 			}
 		})
-		classifyAbort(suffix.Run(), res)
+		suffixAborted := suffix.Run()
+		e.m.observeSession(suffix)
+		classifyAbort(suffixAborted, res)
 	}
 	res.Soft = k.Soft
 	res.Cov = k.Cov
-	e.release(k)
 	return res
 }
 

@@ -86,6 +86,14 @@ func TestKernelRecycling(t *testing.T) {
 		}
 	}
 	recycled, built := e.KernelCounters()
+	if recycled+built != 5 || built < 1 {
+		t.Fatalf("counters = (recycled %d, built %d), want 5 acquisitions with >= 1 build", recycled, built)
+	}
+	if raceEnabled {
+		// sync.Pool drops a random fraction of Puts under the race
+		// detector, so the exact recycle split is not stable there.
+		return
+	}
 	if built != 1 || recycled != 4 {
 		t.Fatalf("counters = (recycled %d, built %d), want (4, 1)", recycled, built)
 	}

@@ -191,5 +191,5 @@ func (t *Task) SyscallReturn() {
 		return
 	}
 	t.yield(SyscallExitSite)
-	t.oe.Flush()
+	t.oe.FlushAtSyscallExit()
 }

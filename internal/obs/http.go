@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving reg's text exposition at
+// /metrics and the net/http/pprof endpoints under /debug/pprof/ —
+// one mux covers both scraping and live profiling, per the ROADMAP's
+// "observe before you optimize" rule.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		_, _ = w.Write([]byte("ozz observability: /metrics, /debug/pprof/\n"))
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for reg on addr (e.g. "127.0.0.1:9100";
+// ":0" picks a free port) in a background goroutine. It returns the bound
+// address and a shutdown func. The server lives until stop is called or
+// the process exits; campaign code treats it as fire-and-forget.
+func Serve(addr string, reg *Registry) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

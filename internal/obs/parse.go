@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label pairs
+// (sorted by key, including any `le` bucket label), and the value.
+type Sample struct {
+	// Name is the sample name as written, e.g. "ozz_mti_pairs_total" or
+	// "ozz_stage_duration_seconds_bucket".
+	Name string
+	// Labels holds the label pairs in sorted-key order.
+	Labels []Label
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// Label is one key="value" pair on a sample.
+type Label struct {
+	// Key is the label name.
+	Key string
+	// Value is the unescaped label value.
+	Value string
+}
+
+// Get returns the value of the label named key, or "" if absent.
+func (s *Sample) Get(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// ParseText parses Prometheus-style text exposition (the subset WriteText
+// emits: HELP/TYPE comments, sample lines with optional {labels}) and
+// returns the samples in input order. It exists so tests can round-trip
+// the exposition and so operators can post-process scrapes without
+// external tooling; it is not a general-purpose Prometheus parser.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSampleLine parses `name{k="v",...} value` or `name value`.
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	sort.Slice(s.Labels, func(i, j int) bool { return s.Labels[i].Key < s.Labels[j].Key })
+	return s, nil
+}
+
+// parseLabels parses the inside of a {...} label set.
+func parseLabels(in string) ([]Label, error) {
+	var out []Label
+	for len(in) > 0 {
+		eq := strings.Index(in, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed labels %q", in)
+		}
+		key := strings.TrimSpace(in[:eq])
+		in = in[eq+1:]
+		if !strings.HasPrefix(in, `"`) {
+			return nil, fmt.Errorf("unquoted label value after %s", key)
+		}
+		val, rest, err := unquotePrefix(in)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Label{Key: key, Value: val})
+		in = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		in = strings.TrimSpace(in)
+	}
+	return out, nil
+}
+
+// unquotePrefix consumes one Go-style quoted string from the front of in,
+// returning its unescaped value and the remainder.
+func unquotePrefix(in string) (val, rest string, err error) {
+	for i := 1; i < len(in); i++ {
+		switch in[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '"':
+			v, err := strconv.Unquote(in[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return v, in[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value %q", in)
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseRoundTrip feeds WriteText output through ParseText and checks
+// every sample survives with its labels and value intact.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ozz_runs_total", "Total runs.").Add(12)
+	r.Gauge("ozz_workers", "Pool width.").Set(4)
+	h := r.Histogram("ozz_dur_seconds", "Durations.", []float64{0.25, 1})
+	h.Observe(0.1)
+	h.Observe(0.1)
+	h.Observe(2)
+	v := r.CounterVec("ozz_crashes_total", "Crashes.", "strategy", "shape")
+	v.With("ooo", "pair").Add(3)
+	v.With(`we"ird`, `va\lue`).Inc() // exercise label escaping
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+
+	byKey := map[string]Sample{}
+	for _, s := range samples {
+		key := s.Name
+		for _, l := range s.Labels {
+			key += "|" + l.Key + "=" + l.Value
+		}
+		byKey[key] = s
+	}
+	checks := map[string]float64{
+		"ozz_runs_total": 12,
+		"ozz_workers":    4,
+		"ozz_crashes_total|shape=pair|strategy=ooo":      3,
+		`ozz_crashes_total|shape=va\lue|strategy=we"ird`: 1,
+		"ozz_dur_seconds_bucket|le=0.25":                 2,
+		"ozz_dur_seconds_bucket|le=1":                    2,
+		"ozz_dur_seconds_bucket|le=+Inf":                 3,
+		"ozz_dur_seconds_count":                          3,
+	}
+	for key, want := range checks {
+		s, ok := byKey[key]
+		if !ok {
+			t.Errorf("sample %q missing from parse; have %v", key, sortedKeys(byKey))
+			continue
+		}
+		if s.Value != want {
+			t.Errorf("sample %q = %v, want %v", key, s.Value, want)
+		}
+	}
+	// _sum round-trips approximately (float formatting is exact, so ==).
+	if s, ok := byKey["ozz_dur_seconds_sum"]; !ok || s.Value != 0.1+0.1+2 {
+		t.Errorf("ozz_dur_seconds_sum = %v (ok=%v), want %v", s.Value, ok, 0.1+0.1+2)
+	}
+}
+
+func sortedKeys(m map[string]Sample) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestSampleGet(t *testing.T) {
+	s := Sample{Labels: []Label{{Key: "le", Value: "+Inf"}, {Key: "strategy", Value: "ooo"}}}
+	if got := s.Get("strategy"); got != "ooo" {
+		t.Errorf(`Get("strategy") = %q`, got)
+	}
+	if got := s.Get("absent"); got != "" {
+		t.Errorf(`Get("absent") = %q, want ""`, got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"justaname",
+		`ozz_x{le="1" 3`,
+		`ozz_x{le=1} 3`,
+		"ozz_x notanumber",
+	} {
+		if _, err := ParseText(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("ParseText(%q): want error", bad)
+		}
+	}
+	// Comments and blank lines are skipped.
+	samples, err := ParseText(strings.NewReader("# HELP x y\n\n# TYPE x counter\nx 1\n"))
+	if err != nil || len(samples) != 1 {
+		t.Fatalf("ParseText with comments: %v, %d samples", err, len(samples))
+	}
+}

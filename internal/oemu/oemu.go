@@ -152,6 +152,43 @@ type Thread struct {
 	em *OEMU
 }
 
+// Counters is the per-execution OEMU activity tally (§3 mechanisms made
+// visible). Fields are plain uint64s — OEMU is driven by exactly one
+// running thread at a time, so no atomics are needed — and they are
+// deterministic for a given (program, hint, seed): the same run always
+// produces the same counts. The engine harvests them into the campaign
+// metrics registry after each execution.
+type Counters struct {
+	// StoresDelayed counts stores held in a virtual store buffer (§3.1).
+	StoresDelayed uint64
+	// ForwardedLoads counts loads satisfied by store-to-load forwarding
+	// from the local buffer.
+	ForwardedLoads uint64
+	// VersionedLoads counts loads that observed an old value from the
+	// store history (§3.2).
+	VersionedLoads uint64
+	// StoresCommitted counts stores written through to memory (including
+	// delayed stores at their eventual flush).
+	StoresCommitted uint64
+	// FlushSmpWmb counts store-buffer drains caused by a store barrier
+	// (smp_wmb). Only non-empty drains are counted, for every Flush* field.
+	FlushSmpWmb uint64
+	// FlushSmpMb counts drains caused by a full barrier (smp_mb).
+	FlushSmpMb uint64
+	// FlushRelease counts drains caused by release semantics
+	// (smp_store_release, clear_bit_unlock, or a release barrier).
+	FlushRelease uint64
+	// FlushInterrupt counts drains caused by an interrupt (§3.1).
+	FlushInterrupt uint64
+	// FlushSyscall counts drains at syscall exit (the in-vivo boundary
+	// past which a real store buffer cannot hold a store).
+	FlushSyscall uint64
+	// LoadWindowAdvances counts versioning-window starts moving forward
+	// (load/full/acquire barriers and annotated loads, when the clock has
+	// advanced since the last window start).
+	LoadWindowAdvances uint64
+}
+
 // OEMU is the emulator instance shared by all threads of one simulated
 // kernel: the global logical clock, the store history, and the backing
 // memory. It is driven by exactly one running thread at a time (the
@@ -166,7 +203,13 @@ type OEMU struct {
 	// free holds retired Thread structs (with their maps) for reuse by
 	// NewThread after a Reset, cutting per-execution allocation churn.
 	free []*Thread
+
+	// n tallies emulation activity since the last Reset.
+	n Counters
 }
+
+// Counters returns the activity tally accumulated since the last Reset.
+func (em *OEMU) Counters() Counters { return em.n }
 
 // New returns an emulator over the given memory.
 func New(mem *kmem.Memory) *OEMU {
@@ -205,6 +248,7 @@ func (em *OEMU) NewThread(id int) *Thread {
 // identically to New over a reset Memory.
 func (em *OEMU) Reset() {
 	em.clock = 0
+	em.n = Counters{}
 	clear(em.history)
 	for _, t := range em.threads {
 		t.reset()
@@ -242,6 +286,7 @@ func (em *OEMU) commit(t *Thread, addr trace.Addr, val uint64) {
 	}
 	em.history[addr] = h
 	t.lastCommit[addr] = em.clock
+	em.n.StoresCommitted++
 }
 
 // oldValue returns the value location addr held at the start of the window
@@ -281,7 +326,7 @@ func (t *Thread) Store(instr trace.InstrID, addr trace.Addr, val uint64, atom tr
 		// smp_store_release / clear_bit_unlock: all precedent accesses
 		// complete before this store (flush acts as smp_wmb; precedent
 		// loads already executed in place as OEMU never delays loads).
-		t.Flush()
+		t.flush(&em.n.FlushRelease)
 	}
 	if idx, ok := t.sbIndex[addr]; ok {
 		// A delayed store to this location is already in flight.
@@ -297,6 +342,7 @@ func (t *Thread) Store(instr trace.InstrID, addr trace.Addr, val uint64, atom tr
 		t.sb = append(t.sb, pendingStore{addr: addr, val: val, instr: instr})
 		t.sbIndex[addr] = len(t.sb) - 1
 		t.Log = append(t.Log, ReorderRecord{Kind: ReorderDelayedStore, Instr: instr, Addr: addr, Val: val})
+		em.n.StoresDelayed++
 		return
 	}
 	em.commit(t, addr, val)
@@ -317,6 +363,7 @@ func (t *Thread) Load(instr trace.InstrID, addr trace.Addr, atom trace.Atomicity
 	case t.forwarded(addr):
 		val = t.sb[t.sbIndex[addr]].val
 		t.Log = append(t.Log, ReorderRecord{Kind: ReorderForwarded, Instr: instr, Addr: addr, Val: val})
+		em.n.ForwardedLoads++
 	case t.Dir.ReadOld[instr]:
 		// The versioning window floor: the last load barrier, but never
 		// older than the thread's own committed store to the location,
@@ -334,6 +381,7 @@ func (t *Thread) Load(instr trace.InstrID, addr trace.Addr, atom trace.Atomicity
 			val = old
 			t.seen[addr] = vt
 			t.Log = append(t.Log, ReorderRecord{Kind: ReorderVersionedLoad, Instr: instr, Addr: addr, Val: val})
+			em.n.VersionedLoads++
 		} else {
 			val = em.Mem.Read(addr)
 			t.seen[addr] = em.latestTime(addr)
@@ -345,9 +393,18 @@ func (t *Thread) Load(instr trace.InstrID, addr trace.Addr, atom trace.Atomicity
 	if atom != trace.Plain {
 		// READ_ONCE / atomic / acquire load: subsequent loads must not
 		// observe values older than this point.
-		t.tRmb = em.clock
+		t.advanceWindow()
 	}
 	return val
+}
+
+// advanceWindow moves the versioning-window start to now, counting the
+// advance when the window actually moves.
+func (t *Thread) advanceWindow() {
+	if t.em.clock > t.tRmb {
+		t.em.n.LoadWindowAdvances++
+	}
+	t.tRmb = t.em.clock
 }
 
 // Barrier executes a memory barrier (Table 1). Store-ordering barriers flush
@@ -356,16 +413,44 @@ func (t *Thread) Load(instr trace.InstrID, addr trace.Addr, atom trace.Atomicity
 // value older than the barrier point).
 func (t *Thread) Barrier(kind trace.BarrierKind) {
 	if kind.OrdersStores() {
-		t.Flush()
+		t.flush(t.flushCauseCounter(kind))
 	}
 	if kind.OrdersLoads() {
-		t.tRmb = t.em.clock
+		t.advanceWindow()
+	}
+}
+
+// flushCauseCounter maps a store-ordering barrier kind to the Counters
+// field that tallies the drain it causes.
+func (t *Thread) flushCauseCounter(kind trace.BarrierKind) *uint64 {
+	n := &t.em.n
+	switch kind {
+	case trace.BarrierStore:
+		return &n.FlushSmpWmb
+	case trace.BarrierRelease:
+		return &n.FlushRelease
+	default: // full barrier (smp_mb) and anything else that orders stores
+		return &n.FlushSmpMb
 	}
 }
 
 // Interrupt models an interrupt on the processor running this thread, which
 // drains the virtual store buffer (§3.1).
-func (t *Thread) Interrupt() { t.Flush() }
+func (t *Thread) Interrupt() { t.flush(&t.em.n.FlushInterrupt) }
+
+// FlushAtSyscallExit drains the virtual store buffer at the syscall
+// boundary (§3.1: a real store buffer cannot hold a store past the return
+// to userspace), attributing the drain to the syscall-exit cause.
+func (t *Thread) FlushAtSyscallExit() { t.flush(&t.em.n.FlushSyscall) }
+
+// flush drains the store buffer, incrementing cause only when the drain
+// actually committed something (an empty flush is not an event).
+func (t *Thread) flush(cause *uint64) {
+	if len(t.sb) > 0 {
+		*cause++
+	}
+	t.Flush()
+}
 
 // Flush commits all delayed stores, in their original program order.
 func (t *Thread) Flush() {

@@ -85,8 +85,9 @@ type Session struct {
 	// that aborted the session, if any.
 	Aborted any
 
-	started bool
-	yields  uint64
+	started  bool
+	yields   uint64
+	switches uint64
 }
 
 // Policy decides where interleavings happen.
@@ -174,9 +175,15 @@ func (s *Session) Run() any {
 // Yields returns the number of scheduling points hit (diagnostics).
 func (s *Session) Yields() uint64 { return s.yields }
 
+// Switches returns the number of preemptions: scheduling points where the
+// run token actually moved to a different task (a subset of Yields).
+// Deterministic for a given (program, hint, seed).
+func (s *Session) Switches() uint64 { return s.switches }
+
 // handoff transfers the run token from the calling task to target and blocks
 // the caller until rescheduled (or unwinds it if the session aborted).
 func (s *Session) handoff(from, to *Task) {
+	s.switches++
 	s.cur = to
 	to.resume <- struct{}{}
 	<-from.resume
