@@ -214,13 +214,19 @@ func TestPoolCorpusRoundTrip(t *testing.T) {
 	if err := p.WriteCorpus(&sb); err != nil {
 		t.Fatal(err)
 	}
-	q := NewPool(Config{Seed: 11, UseSeeds: true}, 2)
+	// A seedless pool has nothing queued, so every corpus program is new;
+	// with UseSeeds the import would skip programs already pending as
+	// module seeds (ReadCorpus dedups by Program.Key()).
+	q := NewPool(Config{Seed: 11}, 2)
 	n, err := q.ReadCorpus(strings.NewReader(sb.String()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != p.CorpusLen() {
 		t.Errorf("round trip imported %d of %d programs", n, p.CorpusLen())
+	}
+	if n2, _ := q.ReadCorpus(strings.NewReader(sb.String())); n2 != 0 {
+		t.Errorf("re-import enqueued %d duplicates, want 0", n2)
 	}
 }
 

@@ -1,0 +1,737 @@
+package dist
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ozz/internal/core"
+	"ozz/internal/modules"
+	"ozz/internal/obs"
+	"ozz/internal/report"
+	"ozz/internal/syzlang"
+)
+
+// Shard is one deterministic work unit of the campaign plan: an
+// independent pool campaign of Steps steps under the derived Seed. The
+// union of all shards' findings is the campaign's result, independent of
+// which worker runs which shard.
+type Shard struct {
+	// Index is the shard's position in the plan.
+	Index int
+	// Seed is the shard's derived campaign seed.
+	Seed int64
+	// Steps is the shard's step budget.
+	Steps int
+}
+
+// shardSeed derives shard i's campaign seed from the base seed with the
+// splitmix64 finalizer — the same mixing discipline core.Pool uses for
+// per-step streams, so sibling shards draw statistically independent
+// program sequences.
+func shardSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Shards builds the deterministic shard plan covering totalSteps in
+// shardSteps-sized units (the last shard takes the remainder). The plan is
+// a pure function of its arguments — the manager and RunShardsLocal
+// compute identical plans.
+func Shards(seed int64, totalSteps, shardSteps int) []Shard {
+	if totalSteps <= 0 {
+		return nil
+	}
+	if shardSteps <= 0 || shardSteps > totalSteps {
+		shardSteps = totalSteps
+	}
+	var plan []Shard
+	for i, done := 0, 0; done < totalSteps; i++ {
+		steps := shardSteps
+		if totalSteps-done < steps {
+			steps = totalSteps - done
+		}
+		plan = append(plan, Shard{Index: i, Seed: shardSeed(seed, i), Steps: steps})
+		done += steps
+	}
+	return plan
+}
+
+// coreConfig reconstructs the core campaign configuration for one shard.
+func coreConfig(spec CampaignSpec, seed int64, reg *obs.Registry, ev *obs.EventLog) core.Config {
+	return core.Config{
+		Modules:         spec.Modules,
+		Bugs:            modules.Bugs(spec.Bugs...),
+		Seed:            seed,
+		ProgLen:         spec.ProgLen,
+		MaxHintsPerPair: spec.MaxHintsPerPair,
+		MaxPairs:        spec.MaxPairs,
+		UseSeeds:        spec.UseSeeds,
+		HintOrder:       spec.HintOrder,
+		Obs:             reg,
+		Events:          ev,
+	}
+}
+
+// ManagerConfig parameterizes the fabric manager.
+type ManagerConfig struct {
+	// Campaign is the campaign configuration shipped to workers.
+	Campaign CampaignSpec
+	// TotalSteps is the whole campaign's step budget across all shards.
+	TotalSteps int
+	// ShardSteps is the per-lease step budget (default 64).
+	ShardSteps int
+	// Seed is the base campaign seed the shard seeds derive from.
+	Seed int64
+	// LeaseTTL is how long a granted lease lives without renewal
+	// (default 5s).
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the heartbeat cadence told to workers
+	// (default 1s).
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses is how many missed cadences mark a worker dead
+	// (default 3).
+	HeartbeatMisses int
+	// Obs, when non-nil, is the registry the manager publishes fabric
+	// metrics into; nil gives it a fresh private registry.
+	Obs *obs.Registry
+	// Events, when non-nil, receives the manager's dist.* event stream,
+	// tagged with the registered worker IDs.
+	Events *obs.EventLog
+}
+
+// normalize resolves the manager defaults.
+func (c *ManagerConfig) normalize() {
+	if c.ShardSteps <= 0 {
+		c.ShardSteps = 64
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 5 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
+	}
+}
+
+// workerState is the manager's view of one registered worker.
+type workerState struct {
+	id        int
+	name      string
+	lastSeen  time.Time
+	connected bool
+	leases    map[uint64]struct{}
+}
+
+// shardState tracks one shard through grants, reassignments, and
+// completion.
+type shardState struct {
+	shard     Shard
+	completed bool
+}
+
+// leaseState is one outstanding grant.
+type leaseState struct {
+	id     uint64
+	shard  int
+	worker int
+	expiry time.Time
+}
+
+// Manager owns the campaign's global state: the shard frontier, the
+// merged coverage corpus (keyed by program-key hash), and the globally
+// deduplicated report set. All methods and HTTP handlers are safe for
+// concurrent use.
+type Manager struct {
+	cfg    ManagerConfig
+	target *syzlang.Target
+	do     *distObs
+
+	mu          sync.Mutex
+	workers     map[int]*workerState
+	nextWorker  int
+	shards      []*shardState
+	pending     []int // shard indexes awaiting a worker, FIFO
+	inflight    map[uint64]*leaseState
+	leaseByID   map[uint64]int // every lease ever granted -> shard index
+	nextLease   uint64
+	completed   int
+	doneEmitted bool
+
+	corpus      map[string]*syzlang.Program // key hash -> program
+	corpusOrder []string                    // key hashes in first-seen order
+	reports     *report.Set
+
+	// now is stubbed in tests; defaults to time.Now.
+	now func() time.Time
+}
+
+// NewManager builds a fabric manager over the shard plan derived from the
+// configuration. It does not listen; mount Handler on an http.Server.
+func NewManager(cfg ManagerConfig) *Manager {
+	cfg.normalize()
+	m := &Manager{
+		cfg:       cfg,
+		target:    modules.Target(cfg.Campaign.Modules...),
+		do:        newDistObs(cfg.Obs, cfg.Events),
+		workers:   make(map[int]*workerState),
+		inflight:  make(map[uint64]*leaseState),
+		leaseByID: make(map[uint64]int),
+		corpus:    make(map[string]*syzlang.Program),
+		reports:   report.NewSet(),
+		now:       time.Now,
+	}
+	for _, sh := range Shards(cfg.Seed, cfg.TotalSteps, cfg.ShardSteps) {
+		m.shards = append(m.shards, &shardState{shard: sh})
+		m.pending = append(m.pending, sh.Index)
+	}
+	m.do.leasesPending.Set(float64(len(m.pending)))
+	return m
+}
+
+// Obs returns the registry the manager publishes fabric metrics into.
+func (m *Manager) Obs() *obs.Registry { return m.do.reg }
+
+// Done reports whether every shard has completed.
+func (m *Manager) Done() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.completed == len(m.shards)
+}
+
+// WorkersConnected returns the number of currently registered workers.
+func (m *Manager) WorkersConnected() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, w := range m.workers {
+		if w.connected {
+			n++
+		}
+	}
+	return n
+}
+
+// ShardsCompleted returns how many shards have finished.
+func (m *Manager) ShardsCompleted() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.completed
+}
+
+// ShardsTotal returns the shard plan's size.
+func (m *Manager) ShardsTotal() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.shards)
+}
+
+// WorkersSeen returns how many workers ever registered (including ones
+// that since deregistered or died).
+func (m *Manager) WorkersSeen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextWorker
+}
+
+// Reports returns the globally deduplicated findings in first-seen order.
+func (m *Manager) Reports() []*report.Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reports.All()
+}
+
+// ReportTitles returns the sorted unique global crash titles.
+func (m *Manager) ReportTitles() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reports.Titles()
+}
+
+// CorpusLen returns the merged global corpus size.
+func (m *Manager) CorpusLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.corpusOrder)
+}
+
+// CorpusKeyHashes returns the merged corpus's key hashes in first-seen
+// order (testing and tooling).
+func (m *Manager) CorpusKeyHashes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.corpusOrder...)
+}
+
+// WriteCorpus streams the merged global corpus to w in the corpus
+// encoding, first-seen order.
+func (m *Manager) WriteCorpus(w io.Writer) error {
+	m.mu.Lock()
+	progs := make([]*syzlang.Program, 0, len(m.corpusOrder))
+	for _, h := range m.corpusOrder {
+		progs = append(progs, m.corpus[h])
+	}
+	m.mu.Unlock()
+	return core.EncodePrograms(w, progs)
+}
+
+// Handler returns the manager's HTTP API: the five fabric endpoints plus
+// /metrics serving the manager's registry (so one listener covers both
+// the fleet and scrapers).
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathRegister, m.timed(m.do.httpRegister, m.handleRegister))
+	mux.HandleFunc(PathPoll, m.timed(m.do.httpPoll, m.handlePoll))
+	mux.HandleFunc(PathSync, m.timed(m.do.httpSync, m.handleSync))
+	mux.HandleFunc(PathReport, m.timed(m.do.httpReport, m.handleReport))
+	mux.HandleFunc(PathHeartbeat, m.timed(m.do.httpHeartbeat, m.handleHeartbeat))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.do.reg.WriteText(w)
+	})
+	return mux
+}
+
+// timed wraps a handler with method enforcement and the per-endpoint
+// latency histogram.
+func (m *Manager) timed(h *obs.Histogram, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		start := time.Now()
+		fn(w, r)
+		observe(h, start)
+	}
+}
+
+// checkVersion rejects protocol mismatches; reports whether the request
+// may proceed.
+func checkVersion(w http.ResponseWriter, v int) bool {
+	if v != ProtocolVersion {
+		writeError(w, http.StatusBadRequest,
+			"protocol version %d, manager speaks %d", v, ProtocolVersion)
+		return false
+	}
+	return true
+}
+
+// handleRegister admits a worker and ships the campaign spec.
+func (m *Manager) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad register body: %v", err)
+		return
+	}
+	if !checkVersion(w, req.V) {
+		return
+	}
+	m.mu.Lock()
+	m.nextWorker++
+	id := m.nextWorker
+	m.workers[id] = &workerState{
+		id: id, name: req.Name, lastSeen: m.now(),
+		connected: true, leases: make(map[uint64]struct{}),
+	}
+	m.do.registrations.Inc()
+	m.setWorkerGaugeLocked()
+	m.mu.Unlock()
+	m.do.ev.Info(id, "dist.register", map[string]any{"name": req.Name})
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		V:           ProtocolVersion,
+		WorkerID:    id,
+		Campaign:    m.cfg.Campaign,
+		HeartbeatMS: m.cfg.HeartbeatEvery.Milliseconds(),
+	})
+}
+
+// setWorkerGaugeLocked refreshes ozz_dist_workers_connected; caller holds
+// m.mu.
+func (m *Manager) setWorkerGaugeLocked() {
+	n := 0
+	for _, ws := range m.workers {
+		if ws.connected {
+			n++
+		}
+	}
+	m.do.workers.Set(float64(n))
+}
+
+// touchLocked refreshes a worker's liveness; caller holds m.mu. Returns
+// nil for unknown or dead workers.
+func (m *Manager) touchLocked(id int) *workerState {
+	ws := m.workers[id]
+	if ws == nil || !ws.connected {
+		return nil
+	}
+	ws.lastSeen = m.now()
+	return ws
+}
+
+// handlePoll sweeps expired state, acknowledges completions, and grants a
+// lease when a shard is pending.
+func (m *Manager) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req PollRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad poll body: %v", err)
+		return
+	}
+	if !checkVersion(w, req.V) {
+		return
+	}
+	m.sweep()
+	m.mu.Lock()
+	ws := m.touchLocked(req.WorkerID)
+	if ws == nil {
+		m.mu.Unlock()
+		writeError(w, http.StatusGone, "unknown worker %d: re-register", req.WorkerID)
+		return
+	}
+	for _, id := range req.Completed {
+		m.completeLocked(ws, id)
+	}
+	resp := PollResponse{V: ProtocolVersion}
+	switch {
+	case m.completed == len(m.shards):
+		resp.Done = true
+	case len(m.pending) > 0:
+		idx := m.pending[0]
+		m.pending = m.pending[1:]
+		m.nextLease++
+		ls := &leaseState{
+			id: m.nextLease, shard: idx, worker: ws.id,
+			expiry: m.now().Add(m.cfg.LeaseTTL),
+		}
+		m.inflight[ls.id] = ls
+		m.leaseByID[ls.id] = idx
+		ws.leases[ls.id] = struct{}{}
+		sh := m.shards[idx].shard
+		resp.Lease = &Lease{
+			ID: ls.id, Shard: sh.Index, Seed: sh.Seed, Steps: sh.Steps,
+			TTLMS: m.cfg.LeaseTTL.Milliseconds(),
+		}
+		m.do.leasesGranted.Inc()
+		m.do.leasesPending.Set(float64(len(m.pending)))
+	default:
+		resp.RetryMS = (m.cfg.HeartbeatEvery / 2).Milliseconds()
+	}
+	m.mu.Unlock()
+	if resp.Lease != nil {
+		m.do.ev.Info(req.WorkerID, "dist.lease_grant", map[string]any{
+			"lease": resp.Lease.ID, "shard": resp.Lease.Shard,
+			"seed": resp.Lease.Seed, "steps": resp.Lease.Steps,
+		})
+	}
+	m.maybeEmitDone()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// completeLocked marks a lease's shard done; caller holds m.mu. Stale
+// lease IDs (already reassigned) still complete their shard — the shard
+// result is deterministic, so whoever finishes first wins and the rerun
+// is a harmless duplicate.
+func (m *Manager) completeLocked(ws *workerState, leaseID uint64) {
+	idx, ok := m.leaseByID[leaseID]
+	if !ok {
+		return
+	}
+	if ls := m.inflight[leaseID]; ls != nil {
+		delete(m.inflight, leaseID)
+		if owner := m.workers[ls.worker]; owner != nil {
+			delete(owner.leases, leaseID)
+		}
+	}
+	delete(ws.leases, leaseID)
+	st := m.shards[idx]
+	if st.completed {
+		return
+	}
+	st.completed = true
+	m.completed++
+	m.do.leasesCompleted.Inc()
+	// The shard may have been requeued (expiry raced completion): drop it
+	// from pending, and retire any other in-flight lease on it.
+	for i, p := range m.pending {
+		if p == idx {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			m.do.leasesPending.Set(float64(len(m.pending)))
+			break
+		}
+	}
+	for id, ls := range m.inflight {
+		if ls.shard == idx {
+			delete(m.inflight, id)
+			if owner := m.workers[ls.worker]; owner != nil {
+				delete(owner.leases, id)
+			}
+		}
+	}
+	m.do.ev.Info(ws.id, "dist.lease_complete", map[string]any{
+		"lease": leaseID, "shard": idx, "done": m.completed, "total": len(m.shards),
+	})
+}
+
+// sweep requeues expired leases and declares silent workers dead. It runs
+// lazily at the top of every poll/sync/heartbeat, so liveness advances as
+// long as any worker keeps talking; tests may call it directly.
+func (m *Manager) sweep() {
+	type reassigned struct {
+		lease  uint64
+		shard  int
+		worker int
+	}
+	var (
+		now  = time.Time{}
+		dead []int
+		res  []reassigned
+	)
+	m.mu.Lock()
+	now = m.now()
+	deadline := time.Duration(m.cfg.HeartbeatMisses) * m.cfg.HeartbeatEvery
+	for id, ws := range m.workers {
+		if ws.connected && now.Sub(ws.lastSeen) > deadline {
+			ws.connected = false
+			dead = append(dead, id)
+			m.do.heartbeatMisses.Inc()
+		}
+	}
+	for id, ls := range m.inflight {
+		owner := m.workers[ls.worker]
+		if now.After(ls.expiry) || owner == nil || !owner.connected {
+			delete(m.inflight, id)
+			if owner != nil {
+				delete(owner.leases, id)
+			}
+			if !m.shards[ls.shard].completed {
+				m.pending = append(m.pending, ls.shard)
+				m.do.leaseReassigns.Inc()
+				res = append(res, reassigned{lease: id, shard: ls.shard, worker: ls.worker})
+			}
+		}
+	}
+	if len(dead) > 0 {
+		m.setWorkerGaugeLocked()
+	}
+	m.do.leasesPending.Set(float64(len(m.pending)))
+	m.mu.Unlock()
+	for _, id := range dead {
+		m.do.ev.Warn(id, "dist.worker_dead", map[string]any{
+			"deadline_ms": deadline.Milliseconds(),
+		})
+	}
+	for _, r := range res {
+		m.do.ev.Warn(r.worker, "dist.lease_reassign", map[string]any{
+			"lease": r.lease, "shard": r.shard,
+		})
+	}
+}
+
+// maybeEmitDone emits the dist.done event exactly once, when the last
+// shard completes.
+func (m *Manager) maybeEmitDone() {
+	m.mu.Lock()
+	fire := m.completed == len(m.shards) && !m.doneEmitted
+	if fire {
+		m.doneEmitted = true
+	}
+	shards, reports, corpus := len(m.shards), m.reports.Len(), len(m.corpusOrder)
+	m.mu.Unlock()
+	if fire {
+		m.do.ev.Info(0, "dist.done", map[string]any{
+			"shards": shards, "reports": reports, "corpus": corpus,
+		})
+	}
+}
+
+// handleSync performs one delta round of corpus exchange and handles
+// deregistration.
+func (m *Manager) handleSync(w http.ResponseWriter, r *http.Request) {
+	var req SyncRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad sync body: %v", err)
+		return
+	}
+	if !checkVersion(w, req.V) {
+		return
+	}
+	m.sweep()
+	m.mu.Lock()
+	ws := m.touchLocked(req.WorkerID)
+	if ws == nil && !req.Deregister {
+		m.mu.Unlock()
+		writeError(w, http.StatusGone, "unknown worker %d: re-register", req.WorkerID)
+		return
+	}
+	// Merge the program bodies the worker shipped (ones we asked for, but
+	// validate and dedup regardless of what arrived).
+	recvProgs := 0
+	if req.Programs != "" {
+		progs, _ := core.DecodePrograms(strings.NewReader(req.Programs), m.target)
+		for _, p := range progs {
+			h := progHash(p)
+			if _, dup := m.corpus[h]; dup {
+				continue
+			}
+			m.corpus[h] = p
+			m.corpusOrder = append(m.corpusOrder, h)
+			recvProgs++
+		}
+		m.do.syncBytesIn.Add(uint64(len(req.Programs)))
+		m.do.syncProgsIn.Add(uint64(recvProgs))
+		m.do.corpusProgs.Set(float64(len(m.corpusOrder)))
+	}
+	// Diff the worker's advertisement against the global corpus.
+	workerHas := make(map[string]struct{}, len(req.Keys))
+	for _, k := range req.Keys {
+		workerHas[k] = struct{}{}
+	}
+	var want []string
+	for _, k := range req.Keys {
+		if _, ok := m.corpus[k]; !ok {
+			want = append(want, k)
+		}
+	}
+	sort.Strings(want)
+	var toSend []*syzlang.Program
+	for _, h := range m.corpusOrder {
+		if _, ok := workerHas[h]; !ok {
+			toSend = append(toSend, m.corpus[h])
+		}
+	}
+	var payload strings.Builder
+	if len(toSend) > 0 {
+		_ = core.EncodePrograms(&payload, toSend)
+		m.do.syncBytesOut.Add(uint64(payload.Len()))
+		m.do.syncProgsOut.Add(uint64(len(toSend)))
+	}
+	if req.Deregister && ws != nil {
+		ws.connected = false
+		for id := range ws.leases {
+			if ls := m.inflight[id]; ls != nil {
+				delete(m.inflight, id)
+				if !m.shards[ls.shard].completed {
+					m.pending = append(m.pending, ls.shard)
+					m.do.leaseReassigns.Inc()
+				}
+			}
+			delete(ws.leases, id)
+		}
+		m.setWorkerGaugeLocked()
+		m.do.leasesPending.Set(float64(len(m.pending)))
+	}
+	m.mu.Unlock()
+	m.do.ev.Info(req.WorkerID, "dist.sync", map[string]any{
+		"recv_programs": recvProgs, "sent_programs": len(toSend),
+		"recv_bytes": len(req.Programs), "sent_bytes": payload.Len(),
+		"want": len(want), "deregister": req.Deregister,
+	})
+	if req.Deregister {
+		m.do.ev.Info(req.WorkerID, "dist.deregister", nil)
+	}
+	writeJSON(w, http.StatusOK, SyncResponse{
+		V: ProtocolVersion, Programs: payload.String(), Want: want,
+	})
+}
+
+// handleReport merges worker findings into the global deduplicated set.
+func (m *Manager) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad report body: %v", err)
+		return
+	}
+	if !checkVersion(w, req.V) {
+		return
+	}
+	m.mu.Lock()
+	if ws := m.touchLocked(req.WorkerID); ws == nil {
+		m.mu.Unlock()
+		writeError(w, http.StatusGone, "unknown worker %d: re-register", req.WorkerID)
+		return
+	}
+	incoming := report.NewSet()
+	for _, rep := range req.Reports {
+		if rep != nil && rep.Title != "" {
+			incoming.Add(rep)
+		}
+	}
+	added := m.reports.Merge(incoming)
+	dup := len(req.Reports) - added
+	m.do.reportsNew.Add(uint64(added))
+	if dup > 0 {
+		m.do.reportsDup.Add(uint64(dup))
+	}
+	m.mu.Unlock()
+	m.do.ev.Info(req.WorkerID, "dist.report", map[string]any{
+		"received": len(req.Reports), "added": added,
+	})
+	writeJSON(w, http.StatusOK, ReportResponse{V: ProtocolVersion, Added: added})
+}
+
+// handleHeartbeat renews worker liveness and its leases.
+func (m *Manager) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad heartbeat body: %v", err)
+		return
+	}
+	if !checkVersion(w, req.V) {
+		return
+	}
+	m.sweep()
+	m.mu.Lock()
+	ws := m.touchLocked(req.WorkerID)
+	ok := ws != nil
+	if ok {
+		for _, id := range req.Leases {
+			if ls := m.inflight[id]; ls != nil && ls.worker == ws.id {
+				ls.expiry = m.now().Add(m.cfg.LeaseTTL)
+			}
+		}
+	}
+	m.mu.Unlock()
+	writeJSON(w, http.StatusOK, HeartbeatResponse{V: ProtocolVersion, OK: ok})
+}
+
+// RunShardsLocal executes the manager configuration's whole shard plan
+// sequentially in-process — the standalone-equivalent campaign the
+// distributed fabric must match title-for-title. It returns the merged
+// deduplicated report set and the merged corpus (first-seen order,
+// deduplicated by program key).
+func RunShardsLocal(cfg ManagerConfig, poolWorkers int) (*report.Set, []*syzlang.Program) {
+	cfg.normalize()
+	merged := report.NewSet()
+	var (
+		corpus []*syzlang.Program
+		seen   = make(map[string]struct{})
+	)
+	for _, sh := range Shards(cfg.Seed, cfg.TotalSteps, cfg.ShardSteps) {
+		p := core.NewPool(coreConfig(cfg.Campaign, sh.Seed, nil, nil), poolWorkers)
+		p.Run(sh.Steps)
+		shardSet := report.NewSet()
+		for _, r := range p.Reports.All() {
+			shardSet.Add(r)
+		}
+		merged.Merge(shardSet)
+		for _, prog := range p.CorpusPrograms() {
+			h := progHash(prog)
+			if _, dup := seen[h]; dup {
+				continue
+			}
+			seen[h] = struct{}{}
+			corpus = append(corpus, prog)
+		}
+	}
+	return merged, corpus
+}

@@ -28,6 +28,48 @@ func TestSetDedup(t *testing.T) {
 	}
 }
 
+func TestSetMerge(t *testing.T) {
+	s := NewSet()
+	s.Add(&Report{Title: "crash A", Tests: 1})
+	s.Add(&Report{Title: "crash B"})
+
+	other := NewSet()
+	other.Add(&Report{Title: "crash C"})
+	other.Add(&Report{Title: "crash A", Tests: 99}) // known title: must lose
+	other.Add(&Report{Title: "crash D"})
+
+	if added := s.Merge(other); added != 2 {
+		t.Fatalf("Merge added %d, want 2", added)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	// First-seen wins across the merge boundary too.
+	if got := s.Get("crash A"); got.Tests != 1 {
+		t.Fatalf("merge replaced first-seen report: %+v", got)
+	}
+	// Discovery order: s's order, then other's new titles in other's order.
+	want := []string{"crash A", "crash B", "crash C", "crash D"}
+	for i, r := range s.All() {
+		if r.Title != want[i] {
+			t.Fatalf("All()[%d] = %q, want %q", i, r.Title, want[i])
+		}
+	}
+	// Re-merging the same set is a no-op, as is merging into itself or nil.
+	if added := s.Merge(other); added != 0 {
+		t.Fatalf("second Merge added %d, want 0", added)
+	}
+	if added := s.Merge(s); added != 0 {
+		t.Fatalf("self-Merge added %d, want 0", added)
+	}
+	if added := s.Merge(nil); added != 0 {
+		t.Fatalf("nil-Merge added %d, want 0", added)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len after re-merges = %d, want 4", s.Len())
+	}
+}
+
 func TestReportRendering(t *testing.T) {
 	r := &Report{
 		Title:          "BUG: unable to handle kernel NULL pointer dereference in pipe_read",

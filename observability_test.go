@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ozz/internal/core"
+	"ozz/internal/dist"
 	"ozz/internal/obs"
 )
 
@@ -103,9 +104,12 @@ func TestObservabilityRegistryCoverage(t *testing.T) {
 // registered family must be documented, and every documented ozz_* token
 // must exist in the registry.
 func TestObservabilityDocComplete(t *testing.T) {
-	// Registration happens at construction; no steps needed.
+	// Registration happens at construction; no steps needed. The dist
+	// families join the same registry so the doc covers the whole ozz_*
+	// surface, fabric included.
 	reg := obs.NewRegistry()
 	core.NewPool(core.Config{Seed: 1, Obs: reg}, 2)
+	dist.RegisterMetrics(reg)
 	registered := map[string]bool{}
 	for _, n := range reg.Names() {
 		if strings.HasPrefix(n, "ozz_") {
