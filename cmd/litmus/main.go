@@ -1,118 +1,163 @@
-// Command litmus runs the LKMM litmus-test suite against OEMU and prints
-// the observable outcomes of each shape — the §3.3/§10.1 compliance
-// evidence. "allowed" outcomes must be reachable (OEMU can emulate the weak
-// behaviour); "forbidden" outcomes must never appear (OEMU never reorders
-// across a real barrier or against coherence).
+// Command litmus is the LKMM compliance and differential-testing front
+// end. It replays the named litmus suite (internal/lkmm.Suite) through
+// BOTH engines — OEMU driven in-vivo (internal/lkmm) and the executable
+// reference model (internal/lkmm/model) — asserting exact outcome-set
+// equality plus the per-entry allowed/forbidden verdicts, and optionally
+// cross-checks N property-based-generated random shapes (-gen) with
+// deterministic seed replay (-seed) and shrinking to a minimal
+// counterexample. Any divergence or verdict violation exits nonzero.
+//
+// Usage:
+//
+//	litmus [-json] [-gen N] [-seed S] [-v]
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"ozz/internal/lkmm"
+	"ozz/internal/lkmm/diff"
 )
 
-type suiteEntry struct {
-	test      *lkmm.Test
-	allowed   []lkmm.Outcome // must be observable
-	forbidden []lkmm.Outcome // must not be observable
-	comment   string
+// suiteReport is the JSON record for one named suite entry.
+type suiteReport struct {
+	Name        string   `json:"name"`
+	Comment     string   `json:"comment"`
+	Cases       []int    `json:"ppo_cases,omitempty"`
+	OEMU        []string `json:"oemu_outcomes"`
+	Model       []string `json:"model_outcomes"`
+	Runs        int      `json:"oemu_runs"`
+	States      int      `json:"model_states"`
+	Status      string   `json:"status"`
+	VerdictErrs []string `json:"verdict_errors,omitempty"`
+	OEMUOnly    []string `json:"soundness_violations,omitempty"`
+	ModelOnly   []string `json:"completeness_violations,omitempty"`
 }
 
-func suite() []suiteEntry {
-	mp := func(name string, b0, b1 []lkmm.Op) *lkmm.Test {
-		t0 := append([]lkmm.Op{lkmm.W(0, 1)}, b0...)
-		t0 = append(t0, lkmm.W(1, 1))
-		t1 := append([]lkmm.Op{lkmm.R(1, 0)}, b1...)
-		t1 = append(t1, lkmm.R(0, 1))
-		return &lkmm.Test{Name: name, Threads: [][]lkmm.Op{t0, t1}, NumLocs: 2, NumRegs: 2}
-	}
-	return []suiteEntry{
-		{
-			test:    mp("MP (relaxed)", nil, nil),
-			allowed: []lkmm.Outcome{"r0=1;r1=0"},
-			comment: "no barriers: the stale observation is allowed and OEMU reaches it",
-		},
-		{
-			test:      mp("MP+wmb+rmb", []lkmm.Op{lkmm.Wmb()}, []lkmm.Op{lkmm.Rmb()}),
-			forbidden: []lkmm.Outcome{"r0=1;r1=0"},
-			comment:   "the Fig. 1 pair: both barriers forbid the stale observation (LKMM cases 2+3)",
-		},
-		{
-			test:    mp("MP+wmb only", []lkmm.Op{lkmm.Wmb()}, nil),
-			allowed: []lkmm.Outcome{"r0=1;r1=0"},
-			comment: "writer ordered, reader not: still weak — why Fig. 1 needs BOTH barriers",
-		},
-		{
-			test:      mp("MP+mb+mb", []lkmm.Op{lkmm.Mb()}, []lkmm.Op{lkmm.Mb()}),
-			forbidden: []lkmm.Outcome{"r0=1;r1=0"},
-			comment:   "full barriers (LKMM case 1)",
-		},
-		{
-			test: &lkmm.Test{Name: "MP+rel+acq", Threads: [][]lkmm.Op{
-				{lkmm.W(0, 1), lkmm.WRel(1, 1)},
-				{lkmm.RAcq(1, 0), lkmm.R(0, 1)},
-			}, NumLocs: 2, NumRegs: 2},
-			forbidden: []lkmm.Outcome{"r0=1;r1=0"},
-			comment:   "smp_store_release / smp_load_acquire (LKMM cases 4+5)",
-		},
-		{
-			test: &lkmm.Test{Name: "SB (relaxed)", Threads: [][]lkmm.Op{
-				{lkmm.WOnce(0, 1), lkmm.ROnce(1, 0)},
-				{lkmm.WOnce(1, 1), lkmm.ROnce(0, 1)},
-			}, NumLocs: 2, NumRegs: 2},
-			allowed: []lkmm.Outcome{"r0=0;r1=0"},
-			comment: "store buffering with Relaxed atomics: the Fig. 10 Rust example's shape",
-		},
-		{
-			test: &lkmm.Test{Name: "SB+mb", Threads: [][]lkmm.Op{
-				{lkmm.W(0, 1), lkmm.Mb(), lkmm.R(1, 0)},
-				{lkmm.W(1, 1), lkmm.Mb(), lkmm.R(0, 1)},
-			}, NumLocs: 2, NumRegs: 2},
-			forbidden: []lkmm.Outcome{"r0=0;r1=0"},
-			comment:   "only smp_mb orders store-load",
-		},
-		{
-			test: &lkmm.Test{Name: "LB", Threads: [][]lkmm.Op{
-				{lkmm.R(1, 0), lkmm.W(0, 1)},
-				{lkmm.R(0, 1), lkmm.W(1, 1)},
-			}, NumLocs: 2, NumRegs: 2},
-			forbidden: []lkmm.Outcome{"r0=1;r1=1"},
-			comment:   "load buffering needs load-store reordering: out of OEMU's scope by design (§3)",
-		},
-		{
-			test: &lkmm.Test{Name: "CoRR", Threads: [][]lkmm.Op{
-				{lkmm.W(0, 1)},
-				{lkmm.R(0, 0), lkmm.R(0, 1)},
-			}, NumLocs: 1, NumRegs: 2},
-			forbidden: []lkmm.Outcome{"r0=1;r1=0"},
-			comment:   "per-location read-read coherence holds on every architecture (even Alpha)",
-		},
-	}
+// genReport is the JSON record for the property-based sweep.
+type genReport struct {
+	Seed        uint64       `json:"seed"`
+	Shapes      int          `json:"shapes"`
+	Divergences []genFailure `json:"divergences,omitempty"`
+}
+
+type genFailure struct {
+	Index     int      `json:"index"`
+	Shape     string   `json:"shape"`
+	OEMUOnly  []string `json:"soundness_violations,omitempty"`
+	ModelOnly []string `json:"completeness_violations,omitempty"`
+	Shrunk    string   `json:"shrunk_shape"`
+}
+
+// report is the top-level JSON document.
+type report struct {
+	Suite []suiteReport `json:"suite"`
+	Gen   *genReport    `json:"gen,omitempty"`
+	OK    bool          `json:"ok"`
 }
 
 func main() {
-	fail := false
-	for _, e := range suite() {
-		res := lkmm.Run(e.test)
-		status := "ok"
-		for _, o := range e.allowed {
-			if !res.Has(o) {
-				status = fmt.Sprintf("FAIL: allowed outcome %s unreachable", o)
-				fail = true
-			}
-		}
-		for _, o := range e.forbidden {
-			if res.Has(o) {
-				status = fmt.Sprintf("FAIL: forbidden outcome %s observed", o)
-				fail = true
-			}
-		}
-		fmt.Printf("%-16s %-60s [%s]\n", e.test.Name, e.comment, status)
-		fmt.Printf("  outcomes (%d runs): %v\n", res.Runs, res.Sorted())
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+// run executes the tool and returns the process exit code; factored out
+// of main so the golden test can drive it in-process.
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("litmus", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report")
+	gen := fs.Int("gen", 0, "cross-check N generated random shapes after the suite")
+	seed := fs.Uint64("seed", 1, "generation seed; failures replay from (seed, index)")
+	verbose := fs.Bool("v", false, "print per-entry state-space sizes")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if fail {
-		os.Exit(1)
+
+	rep := report{OK: true}
+	for _, r := range diff.CheckSuite() {
+		sr := suiteReport{
+			Name:        r.Entry.Test.Name,
+			Comment:     r.Entry.Comment,
+			Cases:       r.Entry.Cases,
+			OEMU:        r.OEMU,
+			Model:       r.Model,
+			VerdictErrs: r.VerdictErrs,
+			Runs:        r.Runs,
+			States:      r.States,
+			Status:      "ok",
+		}
+		if r.Div != nil {
+			sr.OEMUOnly = r.Div.OEMUOnly
+			sr.ModelOnly = r.Div.ModelOnly
+		}
+		if !r.OK() {
+			sr.Status = "FAIL"
+			rep.OK = false
+		}
+		rep.Suite = append(rep.Suite, sr)
 	}
-	fmt.Println("\nall litmus shapes comply with the LKMM")
+	if *gen > 0 {
+		g := &genReport{Seed: *seed, Shapes: *gen}
+		for _, f := range diff.CrossCheck(*seed, *gen) {
+			g.Divergences = append(g.Divergences, genFailure{
+				Index:     f.Index,
+				Shape:     diff.Format(f.Div.Test),
+				OEMUOnly:  f.Div.OEMUOnly,
+				ModelOnly: f.Div.ModelOnly,
+				Shrunk:    diff.Format(f.ShrunkDiv.Test),
+			})
+			rep.OK = false
+		}
+		rep.Gen = g
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		renderText(stdout, &rep, *verbose)
+	}
+	if !rep.OK {
+		return 1
+	}
+	return 0
+}
+
+func renderText(w io.Writer, rep *report, verbose bool) {
+	for _, sr := range rep.Suite {
+		status := sr.Status
+		for _, e := range sr.VerdictErrs {
+			status = "FAIL: " + e
+		}
+		if len(sr.OEMUOnly) > 0 {
+			status = fmt.Sprintf("FAIL: soundness broken, OEMU-only outcomes %v", sr.OEMUOnly)
+		}
+		if len(sr.ModelOnly) > 0 {
+			status = fmt.Sprintf("FAIL: completeness broken, model-only outcomes %v", sr.ModelOnly)
+		}
+		fmt.Fprintf(w, "%-16s %-60s [%s]\n", sr.Name, sr.Comment, status)
+		if verbose {
+			fmt.Fprintf(w, "  outcomes (%d OEMU runs, %d model states): %v\n",
+				sr.Runs, sr.States, sr.OEMU)
+		} else {
+			fmt.Fprintf(w, "  outcomes (%d runs): %v\n", sr.Runs, sr.OEMU)
+		}
+	}
+	if rep.Gen != nil {
+		fmt.Fprintf(w, "\ncross-checked %d generated shapes (seed=%#x): %d divergences\n",
+			rep.Gen.Shapes, rep.Gen.Seed, len(rep.Gen.Divergences))
+		for _, f := range rep.Gen.Divergences {
+			fmt.Fprintf(w, "  shape %d diverged (replay: -gen %d -seed %d):\n%s  shrunk:\n%s",
+				f.Index, f.Index+1, rep.Gen.Seed, f.Shape, f.Shrunk)
+		}
+	}
+	if rep.OK {
+		fmt.Fprintln(w, "\nall litmus shapes agree between OEMU and the reference model")
+	}
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestJSONGolden pins the -json report shape. Both engines are
+// deterministic (sorted outcome sets, fixed enumeration sizes, seeded
+// generation), so the full document is byte-stable. Refresh with
+// OZZ_UPDATE_GOLDEN=1 after an intentional suite or format change.
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-json", "-gen", "25", "-seed", "1"}, &buf); code != 0 {
+		t.Fatalf("litmus exited %d:\n%s", code, buf.String())
+	}
+	golden := filepath.Join("testdata", "report.golden.json")
+	if os.Getenv("OZZ_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with OZZ_UPDATE_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("JSON report drifted from golden (OZZ_UPDATE_GOLDEN=1 to refresh)\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestJSONWellFormed: the report decodes and covers the whole suite.
+func TestJSONWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-json"}, &buf); code != 0 {
+		t.Fatalf("litmus exited %d:\n%s", code, buf.String())
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if !rep.OK || len(rep.Suite) == 0 {
+		t.Fatalf("unexpected report: ok=%v entries=%d", rep.OK, len(rep.Suite))
+	}
+	for _, sr := range rep.Suite {
+		if sr.Status != "ok" {
+			t.Errorf("%s: %s %v", sr.Name, sr.Status, sr.VerdictErrs)
+		}
+	}
+}
+
+// TestTextModeGreen: the human-readable path succeeds end to end.
+func TestTextModeGreen(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-gen", "10", "-seed", "7", "-v"}, &buf); code != 0 {
+		t.Fatalf("litmus exited %d:\n%s", code, buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("0 divergences")) {
+		t.Fatalf("missing cross-check summary:\n%s", buf.String())
+	}
+}
+
+// TestBadFlagExitCode: usage errors exit 2, distinct from the
+// divergence exit 1 CI keys on.
+func TestBadFlagExitCode(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &buf); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

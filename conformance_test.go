@@ -25,8 +25,10 @@ import (
 	"ozz/internal/baseline/inorder"
 	"ozz/internal/baseline/kcsan"
 	"ozz/internal/core"
+	"ozz/internal/engine"
 	"ozz/internal/hints"
 	"ozz/internal/modules"
+	"ozz/internal/trace"
 )
 
 const goldenPath = "testdata/engine_golden.json"
@@ -278,4 +280,138 @@ func TestEngineConformance(t *testing.T) {
 	check("kcsan_bitlock_titles", got.KCSANBitlockTitles, want.KCSANBitlockTitles)
 	check("fuzzer_campaign", got.Fuzzer, want.Fuzzer)
 	check("pool_campaign", got.Pool, want.Pool)
+}
+
+// TestCrossStrategyProperties pins the relationships BETWEEN strategies
+// that the golden matrix above cannot express — the properties the
+// paper's architecture rests on, checked over every module's seed
+// corpus rather than a fixed fixture.
+func TestCrossStrategyProperties(t *testing.T) {
+	// Property 1: the OOO strategy without a hint IS the sequential
+	// baseline. Both Pair plans collapse to nil, so crash, returns, and
+	// coverage must be identical program by program.
+	t.Run("ooo-without-hint-is-sequential", func(t *testing.T) {
+		eng := engine.New()
+		cfg := engine.Config{Bugs: modules.Bugs(allOOOSwitches()...), Instrumented: true}
+		target := modules.Target()
+		for i, src := range modules.Seeds() {
+			p, err := target.Parse(src)
+			if err != nil {
+				t.Fatalf("seed %d: %v", i, err)
+			}
+			ooo := eng.Run(cfg, engine.OOO{}, engine.Request{Prog: p})
+			seq := eng.Run(cfg, engine.Sequential{}, engine.Request{Prog: p})
+			if (ooo.Crash == nil) != (seq.Crash == nil) ||
+				(ooo.Crash != nil && ooo.Crash.Title != seq.Crash.Title) {
+				t.Fatalf("seed %d: crash differs: ooo=%v seq=%v", i, ooo.Crash, seq.Crash)
+			}
+			if !reflect.DeepEqual(ooo.Returns, seq.Returns) {
+				t.Fatalf("seed %d: returns differ: %v vs %v", i, ooo.Returns, seq.Returns)
+			}
+			if len(ooo.Cov) != len(seq.Cov) {
+				t.Fatalf("seed %d: coverage differs: %d vs %d edges", i, len(ooo.Cov), len(seq.Cov))
+			}
+		}
+	})
+
+	// Property 2: suppressing the OEMU directives (NoReorder — the triage
+	// re-run) makes every hint execution behave in-order: no reordering
+	// occurs and no OOO crash fires, even though the interleaving
+	// schedule is identical. This is §2.3's claim that interleaving
+	// control alone cannot expose missing-barrier bugs, as a property
+	// over ALL hints of the Fig. 1 program.
+	t.Run("no-reorder-hints-match-sequential", func(t *testing.T) {
+		const wqProg = "r0 = wq_create()\nwq_post_notification(r0, 0x4)\nwq_pipe_read(r0)\n"
+		for _, sw := range []string{"watchqueue:pipe_wmb", "watchqueue:pipe_rmb"} {
+			env := core.NewEnv([]string{"watchqueue"}, modules.Bugs(sw))
+			p, err := modules.Target("watchqueue").Parse(wqProg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sti := env.RunSTI(p)
+			if sti.Crash != nil {
+				t.Fatalf("%s: sequential run crashed: %v", sw, sti.Crash)
+			}
+			hs := hints.Calculate(sti.CallEvents[1], sti.CallEvents[2])
+			if len(hs) == 0 {
+				t.Fatalf("%s: no hints calculated", sw)
+			}
+			fired := false
+			for _, h := range hs {
+				res := env.RunMTI(core.MTIOpts{Prog: p, I: 1, J: 2, Hint: h, NoReorder: true})
+				if res.Reordered != 0 {
+					t.Fatalf("%s: hint %s reordered %d accesses with directives suppressed",
+						sw, h, res.Reordered)
+				}
+				if res.Crash != nil {
+					t.Fatalf("%s: hint %s crashed without reordering: %v", sw, h, res.Crash)
+				}
+				fired = fired || res.Fired
+			}
+			if !fired {
+				t.Fatalf("%s: no hint's scheduling point was ever reached", sw)
+			}
+			// The same hints WITH directives must actually reorder on at
+			// least one run (individual hints may be vacuous — an empty
+			// versioning window at the scheduling point reorders nothing):
+			// sequential behaviours are a strict subset of OOO behaviours.
+			reordered := false
+			for _, h := range hs {
+				live := env.RunMTI(core.MTIOpts{Prog: p, I: 1, J: 2, Hint: h})
+				reordered = reordered || live.Reordered > 0
+			}
+			if !reordered {
+				t.Fatalf("%s: no hint reordered anything with directives live", sw)
+			}
+		}
+	})
+
+	// Property 3: Algorithm 2 (filter_out) drops only accesses that can
+	// never contribute to a hint — running Algorithm 1 on pre-filtered
+	// sequences yields the exact same hint set (FilterOut is idempotent
+	// inside Calculate).
+	t.Run("filter-out-preserves-hints", func(t *testing.T) {
+		env := core.NewEnv(nil, modules.Bugs(allOOOSwitches()...))
+		target := modules.Target()
+		for i, src := range modules.Seeds() {
+			p, err := target.Parse(src)
+			if err != nil {
+				t.Fatalf("seed %d: %v", i, err)
+			}
+			sti := env.RunSTI(p)
+			if sti.Crash != nil || len(sti.CallEvents) < 2 {
+				continue
+			}
+			for a := 0; a < len(sti.CallEvents)-1; a++ {
+				for b := a + 1; b < len(sti.CallEvents); b++ {
+					si, sj := sti.CallEvents[a], sti.CallEvents[b]
+					direct := hints.Calculate(si, sj)
+					fi, fj := hints.FilterOut(si, sj)
+					filtered := hints.Calculate(fi, fj)
+					if !reflect.DeepEqual(direct, filtered) {
+						t.Fatalf("seed %d pair (%d,%d): filtering changed the hint set:\n%v\nvs\n%v",
+							i, a, b, direct, filtered)
+					}
+					// Every reorder site must touch a location shared by
+					// the pair — filtered events retain exactly those.
+					sites := make(map[trace.InstrID]bool)
+					for _, evs := range [][]trace.Event{fi, fj} {
+						for _, e := range evs {
+							if !e.Barrier {
+								sites[e.Acc.Instr] = true
+							}
+						}
+					}
+					for _, h := range direct {
+						for _, s := range h.Reorder {
+							if !sites[s] {
+								t.Fatalf("seed %d pair (%d,%d): hint %s reorders site %d outside the shared set",
+									i, a, b, h, s)
+							}
+						}
+					}
+				}
+			}
+		}
+	})
 }

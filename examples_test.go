@@ -1,0 +1,66 @@
+package ozz
+
+// Examples smoke test: every example under examples/ must build and run
+// to a zero exit within a small budget. The examples are the README's
+// executable documentation — this is the only thing keeping them from
+// rotting as the packages they demonstrate evolve.
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test builds binaries; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindir := t.TempDir()
+	// One build invocation for all examples: far cheaper than five.
+	build := exec.Command("go", "build", "-o", bindir+string(os.PathSeparator), "./examples/...")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+	// Keep runtimes bounded: the fuzz example takes an iteration budget.
+	extraArgs := map[string][]string{
+		"fuzz": {"-steps", "40"},
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(bindir, name)
+			if runtime.GOOS == "windows" {
+				bin += ".exe"
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, bin, extraArgs[name]...)
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s did not finish within budget\n%s", name, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s exited nonzero: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no examples found under examples/")
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ozz/internal/modules"
+)
+
+// FuzzDecodePrograms hammers the corpus decoder with adversarial byte
+// streams — the bytes a worker receives over the sync protocol are
+// exactly this input. Invariants: never panic, never emit an empty or
+// duplicate program, and every accepted corpus round-trips through
+// EncodePrograms/DecodePrograms with identical program keys.
+func FuzzDecodePrograms(f *testing.F) {
+	target := modules.Target()
+	seeds := modules.Seeds()
+	f.Add(strings.Join(seeds, "\n\n"))
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Add("")
+	f.Add("\n\n \n\t\n")
+	f.Add("r0 = wq_create()\nwq_pipe_read(r0)\n\nnot a call at all\n")
+	f.Add("r0 = wq_create(")
+	f.Fuzz(func(t *testing.T, src string) {
+		progs, _ := DecodePrograms(strings.NewReader(src), target)
+		seen := make(map[string]bool, len(progs))
+		for _, p := range progs {
+			if p == nil || len(p.Calls) == 0 {
+				t.Fatalf("decoder emitted an empty program from %q", src)
+			}
+			if k := p.Key(); seen[k] {
+				t.Fatalf("decoder emitted duplicate key %q from %q", k, src)
+			} else {
+				seen[k] = true
+			}
+		}
+		if len(progs) == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodePrograms(&buf, progs); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := DecodePrograms(bytes.NewReader(buf.Bytes()), target)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v\nencoded:\n%s", err, buf.String())
+		}
+		if len(again) != len(progs) {
+			t.Fatalf("round trip changed corpus size %d -> %d", len(progs), len(again))
+		}
+		for i := range progs {
+			if progs[i].Key() != again[i].Key() {
+				t.Fatalf("round trip changed program %d: %q -> %q",
+					i, progs[i].Key(), again[i].Key())
+			}
+		}
+	})
+}

@@ -40,6 +40,21 @@ func (k TestKind) String() string {
 	return "hypothetical-load-barrier"
 }
 
+// ClosedBy reports whether a barrier of kind b closes a group for this
+// hypothetical-barrier test (Algorithm 1 step 2). It is the preserved-
+// program-order predicate of §10.1 shared with OEMU and the reference
+// model (internal/lkmm/model): store-barrier tests group between the
+// barriers that drain the virtual store buffer (smp_wmb/smp_mb/release —
+// LKMM Cases 1, 2, 5), load-barrier tests between the barriers that pin
+// the versioning window (smp_rmb/smp_mb/acquire and the implicit barrier
+// of an annotated load — Cases 1, 3, 4, 6).
+func (k TestKind) ClosedBy(b trace.BarrierKind) bool {
+	if k == StoreBarrierTest {
+		return b.OrdersStores()
+	}
+	return b.OrdersLoads()
+}
+
 // Hint is one scheduling hint (h in Algorithm 1).
 type Hint struct {
 	// Reorderer selects which call of the pair executes reordered: 0 for
@@ -169,10 +184,10 @@ func Calculate(si, sj []trace.Event) []*Hint {
 	fi, fj := FilterOut(si, sj)
 	var hints []*Hint
 	for k, events := range [][]trace.Event{fi, fj} {
-		for _, bt := range []trace.BarrierKind{trace.BarrierStore, trace.BarrierLoad} {
-			groups := groupByBarrier(events, bt)
+		for _, test := range []TestKind{StoreBarrierTest, LoadBarrierTest} {
+			groups := groupByBarrier(events, test)
 			for _, g := range groups {
-				hints = append(hints, hintsForGroup(k, bt, g)...)
+				hints = append(hints, hintsForGroup(k, test, g)...)
 			}
 		}
 	}
@@ -191,16 +206,10 @@ func Calculate(si, sj []trace.Event) []*Hint {
 }
 
 // groupByBarrier is Step 2 of Algorithm 1: split the call's accesses into
-// groups delimited by barriers whose kind matches barrierType's ordering
-// class (store barriers close store-test groups; load barriers close
-// load-test groups; full barriers close both).
-func groupByBarrier(events []trace.Event, barrierType trace.BarrierKind) [][]groupAccess {
-	matches := func(k trace.BarrierKind) bool {
-		if barrierType == trace.BarrierStore {
-			return k.OrdersStores()
-		}
-		return k.OrdersLoads()
-	}
+// groups delimited by the barriers that close groups for the given test
+// kind (TestKind.ClosedBy — store barriers close store-test groups; load
+// barriers close load-test groups; full barriers close both).
+func groupByBarrier(events []trace.Event, test TestKind) [][]groupAccess {
 	// occ counts SCHEDULING POINTS per site, not events: the store half
 	// of an RMW shares its scheduling point with the load half (NoYield),
 	// so the breakpoint occurrence for it is the load half's.
@@ -209,7 +218,7 @@ func groupByBarrier(events []trace.Event, barrierType trace.BarrierKind) [][]gro
 	var g []groupAccess
 	for _, e := range events {
 		if e.Barrier {
-			if matches(e.Bar.Kind) {
+			if test.ClosedBy(e.Bar.Kind) {
 				if len(g) > 0 {
 					groups = append(groups, g)
 				}
@@ -236,7 +245,7 @@ func groupByBarrier(events []trace.Event, barrierType trace.BarrierKind) [][]gro
 // and moves upward, shrinking the delayed prefix. For a load test the
 // scheduling point is the group's first load (it reads the updated value,
 // Fig. 5b) and the barrier moves downward, shrinking the versioned suffix.
-func hintsForGroup(reorderer int, barrierType trace.BarrierKind, g []groupAccess) []*Hint {
+func hintsForGroup(reorderer int, test TestKind, g []groupAccess) []*Hint {
 	var out []*Hint
 	emit := func(test TestKind, sched groupAccess, reorder []trace.InstrID) {
 		if len(reorder) == 0 {
@@ -257,7 +266,7 @@ func hintsForGroup(reorderer int, barrierType trace.BarrierKind, g []groupAccess
 			Reorder:   reorder,
 		})
 	}
-	if barrierType == trace.BarrierStore {
+	if test == StoreBarrierTest {
 		if len(g) < 2 {
 			return nil
 		}

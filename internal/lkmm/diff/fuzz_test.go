@@ -1,0 +1,27 @@
+package diff
+
+import (
+	"testing"
+
+	"ozz/internal/lkmm"
+)
+
+// FuzzDifferential lets the native fuzzer drive the generator's (seed,
+// index) space: every reachable shape must agree between OEMU and the
+// reference model. The shape space is fully determined by the two
+// integers, so coverage-guided mutation explores generator corner cases
+// (thread-count and op-mix boundaries) far faster than a linear sweep.
+func FuzzDifferential(f *testing.F) {
+	f.Add(uint64(1), uint(0))
+	f.Add(uint64(0xdeadbeef), uint(7))
+	f.Add(uint64(0), uint(1023))
+	f.Fuzz(func(t *testing.T, seed uint64, index uint) {
+		shape := Shape(seed, int(index%4096))
+		d := Compare(shape)
+		if d == nil {
+			return
+		}
+		shrunk := Shrink(shape, func(c *lkmm.Test) bool { return Compare(c) != nil })
+		t.Fatalf("%s\nshrunk: %s", d, Compare(shrunk))
+	})
+}

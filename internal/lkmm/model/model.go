@@ -1,0 +1,377 @@
+// Package model is an executable reference checker for the LKMM fragment
+// OZZ emulates (§3.1–§3.3, §10.1): it enumerates every outcome the model
+// permits for a litmus test, independently of internal/oemu. Where
+// internal/lkmm drives the real OEMU emulator through the product of
+// thread interleavings and Table 2 directive masks, this package explores
+// an abstract machine directly — a small-step transition system over
+// per-thread store-buffer and versioning states — deduplicating visited
+// states, so a regression in OEMU's mechanics shows up as an outcome-set
+// divergence in the differential harness (internal/lkmm/diff) even on
+// shapes no hand-written test names.
+//
+// The machine encodes the memory-model axioms as transition rules:
+//
+//   - Store buffering (§3.1): a store either commits in place or enters
+//     the thread's virtual store buffer, to commit at the next drain
+//     point. Drain points are exactly the preserved-program-order store
+//     cases of §10.1 — smp_wmb (Case 2), smp_mb (Case 1), and release
+//     semantics (Case 5) — plus thread exit (the syscall boundary).
+//   - SC per location: same-location stores stay in program order (an
+//     in-flight buffered store coalesces, CoWW); loads from a location
+//     the thread has a buffered store to must forward it (CoWR); a load
+//     never observes a version older than one the thread already
+//     observed (CoRR) or than the thread's own last commit to the
+//     location.
+//   - Versioned loads (§3.2): a load observes either the current value
+//     or the value the location held at the start of the thread's
+//     versioning window. The window is pinned by smp_rmb (Case 3),
+//     smp_mb (Case 1), acquire semantics (Case 4), and annotated loads
+//     (READ_ONCE/atomic — the dependency rule, Case 6).
+//   - Loads execute in place — load-store reordering is never emulated
+//     (Case 7 and §3's scope), so the LB outcome is structurally
+//     unreachable.
+//
+// The barrier and annotation predicates (trace.BarrierKind.OrdersStores/
+// OrdersLoads, trace.Atomicity.ActsAsLoadBarrier/IsRelease) are shared
+// with OEMU and with Algorithm 1's hypothetical-barrier grouping
+// (hints.TestKind.ClosedBy), so all three layers agree on the PPO cases
+// by construction; what the differential harness then checks is that the
+// *mechanics* around those predicates agree too.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ozz/internal/lkmm"
+)
+
+// Result is the set of outcomes the reference model permits for a test.
+type Result struct {
+	// Outcomes maps each reachable final register assignment to true.
+	Outcomes map[lkmm.Outcome]bool
+	// States counts distinct abstract-machine states visited.
+	States int
+}
+
+// Has reports whether the outcome is permitted.
+func (r *Result) Has(o lkmm.Outcome) bool { return r.Outcomes[o] }
+
+// Sorted lists the permitted outcomes canonically.
+func (r *Result) Sorted() []string {
+	out := make([]string, 0, len(r.Outcomes))
+	for o := range r.Outcomes {
+		out = append(out, string(o))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// version is one committed value of a location: the logical commit time
+// and the value written. The commit history per location is the model's
+// coherence order; versioned loads pick from it.
+type version struct {
+	time uint64
+	val  uint64
+}
+
+// pendingStore is one in-flight entry of a thread's virtual store buffer.
+type pendingStore struct {
+	loc int
+	val uint64
+}
+
+// state is one abstract machine configuration. All slices are dense and
+// fixed-shape for a given test (locations and threads are indexes), which
+// keys canonically for the visited-state set.
+type state struct {
+	clock uint64
+	// hist is the per-location commit history in coherence order; the
+	// initial value 0 at time 0 is implicit.
+	hist [][]version
+	// pc is each thread's next-op index.
+	pc []int
+	// sb is each thread's virtual store buffer, program order, at most
+	// one entry per location (coalescing).
+	sb [][]pendingStore
+	// tRmb is each thread's versioning-window start (§3.2).
+	tRmb []uint64
+	// lastCommit[t][loc] is the commit time of thread t's own newest
+	// committed store to loc (CoWR floor), 0 if none.
+	lastCommit [][]uint64
+	// seen[t][loc] is the version time thread t most recently observed
+	// at loc (CoRR floor), 0 if none.
+	seen [][]uint64
+	// regs is the global register file (loads write it).
+	regs []uint64
+}
+
+func newState(t *lkmm.Test) *state {
+	n := len(t.Threads)
+	s := &state{
+		hist:       make([][]version, t.NumLocs),
+		pc:         make([]int, n),
+		sb:         make([][]pendingStore, n),
+		tRmb:       make([]uint64, n),
+		lastCommit: make([][]uint64, n),
+		seen:       make([][]uint64, n),
+		regs:       make([]uint64, t.NumRegs),
+	}
+	for i := 0; i < n; i++ {
+		s.lastCommit[i] = make([]uint64, t.NumLocs)
+		s.seen[i] = make([]uint64, t.NumLocs)
+	}
+	return s
+}
+
+// clone deep-copies the state for one branch of the search.
+func (s *state) clone() *state {
+	ns := &state{
+		clock:      s.clock,
+		hist:       make([][]version, len(s.hist)),
+		pc:         append([]int(nil), s.pc...),
+		sb:         make([][]pendingStore, len(s.sb)),
+		tRmb:       append([]uint64(nil), s.tRmb...),
+		lastCommit: make([][]uint64, len(s.lastCommit)),
+		seen:       make([][]uint64, len(s.seen)),
+		regs:       append([]uint64(nil), s.regs...),
+	}
+	for i := range s.hist {
+		ns.hist[i] = append([]version(nil), s.hist[i]...)
+	}
+	for i := range s.sb {
+		ns.sb[i] = append([]pendingStore(nil), s.sb[i]...)
+	}
+	for i := range s.lastCommit {
+		ns.lastCommit[i] = append([]uint64(nil), s.lastCommit[i]...)
+		ns.seen[i] = append([]uint64(nil), s.seen[i]...)
+	}
+	return ns
+}
+
+// key canonically encodes the state for the visited set.
+func (s *state) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "c%d|", s.clock)
+	for _, h := range s.hist {
+		for _, v := range h {
+			fmt.Fprintf(&b, "%d:%d,", v.time, v.val)
+		}
+		b.WriteByte(';')
+	}
+	for i := range s.pc {
+		fmt.Fprintf(&b, "p%d,", s.pc[i])
+		for _, p := range s.sb[i] {
+			fmt.Fprintf(&b, "s%d:%d,", p.loc, p.val)
+		}
+		fmt.Fprintf(&b, "w%d,", s.tRmb[i])
+		for l := range s.lastCommit[i] {
+			fmt.Fprintf(&b, "%d:%d,", s.lastCommit[i][l], s.seen[i][l])
+		}
+		b.WriteByte('|')
+	}
+	for _, r := range s.regs {
+		fmt.Fprintf(&b, "r%d,", r)
+	}
+	return b.String()
+}
+
+// commit appends a new version of loc to the coherence order and advances
+// the logical clock.
+func (s *state) commit(t, loc int, val uint64) {
+	s.clock++
+	s.hist[loc] = append(s.hist[loc], version{time: s.clock, val: val})
+	s.lastCommit[t][loc] = s.clock
+}
+
+// drain commits thread t's buffered stores in program order (a barrier
+// drain, release semantics, or thread exit).
+func (s *state) drain(t int) {
+	for _, p := range s.sb[t] {
+		s.commit(t, p.loc, p.val)
+	}
+	s.sb[t] = nil
+}
+
+// current returns the newest version of loc (the memory value) and its
+// commit time; (0, 0) when the location was never stored to.
+func (s *state) current(loc int) (val, time uint64) {
+	h := s.hist[loc]
+	if len(h) == 0 {
+		return 0, 0
+	}
+	last := h[len(h)-1]
+	return last.val, last.time
+}
+
+// valueAt returns the value loc held at logical time floor — the newest
+// version with commit time <= floor — and that version's time. This is
+// the versioning-window-start value a stale load observes (§3.2).
+func (s *state) valueAt(loc int, floor uint64) (val, time uint64) {
+	for _, v := range s.hist[loc] {
+		if v.time > floor {
+			break
+		}
+		val, time = v.val, v.time
+	}
+	return val, time
+}
+
+// pendingIndex returns the index of thread t's in-flight store to loc, or
+// -1 when none is buffered.
+func (s *state) pendingIndex(t, loc int) int {
+	for i, p := range s.sb[t] {
+		if p.loc == loc {
+			return i
+		}
+	}
+	return -1
+}
+
+// machine is one exhaustive exploration.
+type machine struct {
+	test    *lkmm.Test
+	visited map[string]bool
+	res     *Result
+}
+
+// Run explores every interleaving of the test's threads across every
+// store-buffer/versioning choice and returns the permitted outcome set.
+// The search is exhaustive and deterministic; litmus tests are tiny by
+// design, so the deduplicated state space is small.
+func Run(t *lkmm.Test) *Result {
+	m := &machine{
+		test:    t,
+		visited: make(map[string]bool),
+		res:     &Result{Outcomes: make(map[lkmm.Outcome]bool)},
+	}
+	m.explore(newState(t))
+	m.res.States = len(m.visited)
+	return m.res
+}
+
+// explore recurses over all successor states of s, recording the outcome
+// when every thread has retired.
+func (m *machine) explore(s *state) {
+	k := s.key()
+	if m.visited[k] {
+		return
+	}
+	m.visited[k] = true
+	done := true
+	for ti := range m.test.Threads {
+		if s.pc[ti] >= len(m.test.Threads[ti]) {
+			continue
+		}
+		done = false
+		for _, ns := range m.step(s, ti) {
+			m.explore(ns)
+		}
+	}
+	if done {
+		// Thread exit drains any remaining buffered stores (the syscall
+		// boundary, §3.1); registers are already final.
+		ns := s.clone()
+		for ti := range m.test.Threads {
+			ns.drain(ti)
+		}
+		m.res.Outcomes[lkmm.MakeOutcome(ns.regs)] = true
+	}
+}
+
+// step executes thread ti's next op and returns every permitted successor
+// — one per nondeterministic choice the memory model grants the op.
+func (m *machine) step(s *state, ti int) []*state {
+	op := m.test.Threads[ti][s.pc[ti]]
+	switch op.Kind {
+	case lkmm.OpBarrier:
+		// The five barrier PPO cases: store-ordering barriers drain the
+		// buffer, load-ordering barriers pin the versioning window.
+		ns := s.clone()
+		ns.pc[ti]++
+		if op.Bar.OrdersStores() {
+			ns.drain(ti)
+		}
+		if op.Bar.OrdersLoads() {
+			ns.tRmb[ti] = ns.clock
+		}
+		return []*state{ns}
+
+	case lkmm.OpStore:
+		if op.Atomic.IsRelease() {
+			// Case 5: all precedent accesses complete first; the release
+			// store itself is never delayed.
+			ns := s.clone()
+			ns.pc[ti]++
+			ns.drain(ti)
+			ns.commit(ti, op.Loc, op.Val)
+			return []*state{ns}
+		}
+		if idx := s.pendingIndex(ti, op.Loc); idx >= 0 {
+			// CoWW: same-location program order is preserved by
+			// coalescing into the in-flight entry; the intermediate
+			// value never reaches the coherence order (a real store
+			// buffer also permits this).
+			ns := s.clone()
+			ns.pc[ti]++
+			ns.sb[ti][idx].val = op.Val
+			return []*state{ns}
+		}
+		// The store-buffering choice of §3.1: commit in place, or hold
+		// the value back until the next drain point.
+		inOrder := s.clone()
+		inOrder.pc[ti]++
+		inOrder.commit(ti, op.Loc, op.Val)
+		delayed := s.clone()
+		delayed.pc[ti]++
+		delayed.sb[ti] = append(delayed.sb[ti], pendingStore{loc: op.Loc, val: op.Val})
+		return []*state{inOrder, delayed}
+
+	case lkmm.OpLoad:
+		if idx := s.pendingIndex(ti, op.Loc); idx >= 0 {
+			// CoWR: an in-flight own store must be forwarded. The
+			// forwarded value is not yet in the coherence order, so the
+			// seen floor does not move.
+			ns := s.clone()
+			ns.pc[ti]++
+			ns.regs[op.Reg] = ns.sb[ti][idx].val
+			if op.Atomic.ActsAsLoadBarrier() {
+				ns.tRmb[ti] = ns.clock
+			}
+			return []*state{ns}
+		}
+		// The versioning choice of §3.2: observe the current value, or
+		// the value the location held at the window start. The window
+		// floor honours the load barriers (tRmb), the thread's own
+		// commits (CoWR), and versions already observed (CoRR).
+		floor := s.tRmb[ti]
+		if lc := s.lastCommit[ti][op.Loc]; lc > floor {
+			floor = lc
+		}
+		if sv := s.seen[ti][op.Loc]; sv > floor {
+			floor = sv
+		}
+		curVal, curTime := s.current(op.Loc)
+		out := []*state{s.readLoad(ti, op, curVal, curTime)}
+		if oldVal, oldTime := s.valueAt(op.Loc, floor); oldTime != curTime {
+			out = append(out, s.readLoad(ti, op, oldVal, oldTime))
+		}
+		return out
+	}
+	panic(fmt.Sprintf("model: unknown op kind %d", op.Kind))
+}
+
+// readLoad builds the successor state of a (non-forwarded) load observing
+// the version (val, time): the register and the CoRR floor update, plus
+// the window pin of annotated loads (Cases 4 and 6).
+func (s *state) readLoad(ti int, op lkmm.Op, val, time uint64) *state {
+	ns := s.clone()
+	ns.pc[ti]++
+	ns.regs[op.Reg] = val
+	ns.seen[ti][op.Loc] = time
+	if op.Atomic.ActsAsLoadBarrier() {
+		ns.tRmb[ti] = ns.clock
+	}
+	return ns
+}

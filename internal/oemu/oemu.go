@@ -322,7 +322,7 @@ func (em *OEMU) latestTime(addr trace.Addr) uint64 {
 // virtual store buffer instead of being committed (§3.1).
 func (t *Thread) Store(instr trace.InstrID, addr trace.Addr, val uint64, atom trace.Atomicity) {
 	em := t.em
-	if atom == trace.AtomicRelease {
+	if atom.IsRelease() {
 		// smp_store_release / clear_bit_unlock: all precedent accesses
 		// complete before this store (flush acts as smp_wmb; precedent
 		// loads already executed in place as OEMU never delays loads).
@@ -338,7 +338,7 @@ func (t *Thread) Store(instr trace.InstrID, addr trace.Addr, val uint64, atom tr
 		t.sb[idx].instr = instr
 		return
 	}
-	if t.Dir.DelayStore[instr] && atom != trace.AtomicRelease {
+	if t.Dir.DelayStore[instr] && !atom.IsRelease() {
 		t.sb = append(t.sb, pendingStore{addr: addr, val: val, instr: instr})
 		t.sbIndex[addr] = len(t.sb) - 1
 		t.Log = append(t.Log, ReorderRecord{Kind: ReorderDelayedStore, Instr: instr, Addr: addr, Val: val})
@@ -390,9 +390,9 @@ func (t *Thread) Load(instr trace.InstrID, addr trace.Addr, atom trace.Atomicity
 		val = em.Mem.Read(addr)
 		t.seen[addr] = em.latestTime(addr)
 	}
-	if atom != trace.Plain {
+	if atom.ActsAsLoadBarrier() {
 		// READ_ONCE / atomic / acquire load: subsequent loads must not
-		// observe values older than this point.
+		// observe values older than this point (LKMM Cases 4 and 6).
 		t.advanceWindow()
 	}
 	return val

@@ -85,6 +85,24 @@ func (a Atomicity) String() string {
 	return fmt.Sprintf("atomicity(%d)", uint8(a))
 }
 
+// ActsAsLoadBarrier reports whether a LOAD with this annotation orders
+// subsequent loads after itself — the two dependency cases of the LKMM's
+// preserved program order (§10.1): an acquire load (Case 4) and an
+// annotated load (READ_ONCE / atomic RMW, Case 6, the conservative
+// address-dependency rule). OEMU advances the versioning window after such
+// loads; the reference model (internal/lkmm/model) and the
+// hypothetical-barrier test (internal/hints) share this predicate so all
+// three agree on which loads pin the window.
+func (a Atomicity) ActsAsLoadBarrier() bool {
+	return a == Once || a == Atomic || a == AtomicAcquire
+}
+
+// IsRelease reports whether a STORE with this annotation orders all
+// precedent accesses before itself (LKMM Case 5: smp_store_release,
+// clear_bit_unlock). A release store drains the virtual store buffer and
+// is never itself delayed.
+func (a Atomicity) IsRelease() bool { return a == AtomicRelease }
+
 // BarrierKind enumerates the memory barriers of Table 1.
 type BarrierKind uint8
 
