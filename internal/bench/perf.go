@@ -1,0 +1,243 @@
+// Perf trajectory reports: the BENCH_*.json schema, its collector, and
+// the regression comparator behind `ozz-bench -bench-out/-bench-compare`
+// and CI's perf gate. See docs/PERFORMANCE.md for how to read and update
+// the committed trajectory.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// PerfSchemaVersion is the current BENCH_*.json schema. Bump it when a
+// metric's name, unit, or direction changes meaning; the comparator
+// refuses to compare across versions.
+const PerfSchemaVersion = 1
+
+// PerfReport is one measured point of the performance trajectory,
+// serialized as BENCH_<rev>.json. Three metric groups: the §6.3.2
+// throughput comparison (tests/s), the Table 5 instrumentation-overhead
+// ratios (dimensionless, more machine-stable than raw timings), and the
+// hot-path microbenchmarks (ns/op and allocs/op).
+type PerfReport struct {
+	// Schema is PerfSchemaVersion at write time.
+	Schema int `json:"schema"`
+	// Rev labels the measured revision (free-form; usually a git rev).
+	Rev string `json:"rev,omitempty"`
+	// Date is the measurement date (YYYY-MM-DD, UTC).
+	Date string `json:"date,omitempty"`
+	// GoMaxProcs records the measuring machine's parallelism.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Metrics is the flat measurement list, sorted by name.
+	Metrics []PerfMetric `json:"metrics"`
+}
+
+// PerfMetric is one named measurement with its improvement direction.
+type PerfMetric struct {
+	// Name identifies the metric, e.g. "micro/oemu_step/ns".
+	Name string `json:"name"`
+	// Unit is the measurement unit ("tests/s", "ratio", "ns/op", ...).
+	Unit string `json:"unit"`
+	// Value is the measured value.
+	Value float64 `json:"value"`
+	// Better is "higher" or "lower" — which direction is an improvement.
+	Better string `json:"better"`
+}
+
+// PerfOpts parameterizes collection.
+type PerfOpts struct {
+	// Rev labels the report (free-form).
+	Rev string
+	// ThroughputBudget is the wall-clock budget per side of the §6.3.2
+	// comparison (default 1s).
+	ThroughputBudget time.Duration
+	// LMBenchIters is the operations-per-workload count for the Table 5
+	// ratios (default 2000).
+	LMBenchIters int
+}
+
+// CollectPerf measures one full trajectory point: throughput, overhead
+// ratios, and every microbenchmark.
+func CollectPerf(opts PerfOpts) *PerfReport {
+	if opts.ThroughputBudget <= 0 {
+		opts.ThroughputBudget = time.Second
+	}
+	if opts.LMBenchIters <= 0 {
+		opts.LMBenchIters = 2000
+	}
+	r := &PerfReport{
+		Schema:     PerfSchemaVersion,
+		Rev:        opts.Rev,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	tp := MeasureThroughput(opts.ThroughputBudget, nil, nil)
+	r.add("throughput/syzkaller", "tests/s", tp.SyzkallerTestsPerSec, "higher")
+	r.add("throughput/ozz", "tests/s", tp.OzzTestsPerSec, "higher")
+	r.add("throughput/slowdown", "ratio", tp.Slowdown, "lower")
+	for _, row := range RunLMBench(opts.LMBenchIters) {
+		r.add("overhead/"+row.Name, "ratio", row.Overhead, "lower")
+	}
+	for _, m := range Micros() {
+		br := testing.Benchmark(m.Fn)
+		r.add("micro/"+m.Name+"/ns", "ns/op", float64(br.NsPerOp()), "lower")
+		r.add("micro/"+m.Name+"/allocs", "allocs/op", float64(br.AllocsPerOp()), "lower")
+	}
+	sort.Slice(r.Metrics, func(i, j int) bool { return r.Metrics[i].Name < r.Metrics[j].Name })
+	return r
+}
+
+func (r *PerfReport) add(name, unit string, v float64, better string) {
+	r.Metrics = append(r.Metrics, PerfMetric{Name: name, Unit: unit, Value: v, Better: better})
+}
+
+// WriteFile serializes the report as indented JSON.
+func (r *PerfReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadPerfReport loads a BENCH_*.json file.
+func ReadPerfReport(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r PerfReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// PerfDelta is one metric's old-vs-new comparison. Ratio is
+// direction-normalized so that > 1 always means "got worse": new/old for
+// lower-is-better metrics, old/new for higher-is-better ones.
+type PerfDelta struct {
+	Name     string
+	Unit     string
+	Old, New float64
+	Ratio    float64
+}
+
+// PerfComparison is the outcome of comparing a new report against the
+// committed trajectory point.
+type PerfComparison struct {
+	// Deltas holds the per-metric comparisons, sorted worst-first.
+	Deltas []PerfDelta
+	// Geomean is the geometric mean of the direction-normalized ratios —
+	// the single regression figure the tolerance band applies to.
+	Geomean float64
+	// MissingOld/MissingNew name metrics present in only one report
+	// (informational; they do not enter the geomean).
+	MissingOld, MissingNew []string
+}
+
+// ComparePerf compares new against old metric-by-metric. Metrics whose
+// old value is zero are skipped for the ratio (a zero allocs/op baseline
+// regressing to nonzero is reported as ratio = +Inf on that delta but
+// enters the geomean clamped to 10x, so one such metric cannot saturate
+// the figure alone).
+func ComparePerf(old, new *PerfReport) (*PerfComparison, error) {
+	if old.Schema != new.Schema {
+		return nil, fmt.Errorf("schema mismatch: old v%d vs new v%d", old.Schema, new.Schema)
+	}
+	oldBy := make(map[string]PerfMetric, len(old.Metrics))
+	for _, m := range old.Metrics {
+		oldBy[m.Name] = m
+	}
+	c := &PerfComparison{}
+	newNames := make(map[string]bool, len(new.Metrics))
+	logSum, n := 0.0, 0
+	for _, m := range new.Metrics {
+		newNames[m.Name] = true
+		o, ok := oldBy[m.Name]
+		if !ok {
+			c.MissingOld = append(c.MissingOld, m.Name)
+			continue
+		}
+		d := PerfDelta{Name: m.Name, Unit: m.Unit, Old: o.Value, New: m.Value}
+		worse, better := m.Value, o.Value
+		if m.Better == "higher" {
+			worse, better = o.Value, m.Value
+		}
+		switch {
+		case better > 0:
+			d.Ratio = worse / better
+		case worse == 0:
+			d.Ratio = 1 // 0 vs 0 (e.g. allocs/op held at zero)
+		default:
+			d.Ratio = math.Inf(1) // zero baseline regressed to nonzero
+		}
+		c.Deltas = append(c.Deltas, d)
+		logSum += math.Log(math.Min(d.Ratio, 10))
+		n++
+	}
+	for name := range oldBy {
+		if !newNames[name] {
+			c.MissingNew = append(c.MissingNew, name)
+		}
+	}
+	sort.Strings(c.MissingOld)
+	sort.Strings(c.MissingNew)
+	sort.Slice(c.Deltas, func(i, j int) bool {
+		if c.Deltas[i].Ratio != c.Deltas[j].Ratio {
+			return c.Deltas[i].Ratio > c.Deltas[j].Ratio
+		}
+		return c.Deltas[i].Name < c.Deltas[j].Name
+	})
+	if n > 0 {
+		c.Geomean = math.Exp(logSum / float64(n))
+	} else {
+		c.Geomean = 1
+	}
+	return c, nil
+}
+
+// Tolerance band of the CI gate: geomean regressions past Warn print a
+// warning, past Fail the gate exits nonzero. Individual metrics are noisy
+// (different machines, scheduling), which is why the band applies to the
+// geomean rather than any single metric.
+const (
+	PerfWarnRatio = 1.05
+	PerfFailRatio = 1.15
+)
+
+// Format renders the comparison as a table plus verdict line.
+func (c *PerfComparison) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-32s %12s %12s %8s\n", "metric", "old", "new", "ratio")
+	for _, d := range c.Deltas {
+		fmt.Fprintf(&sb, "%-32s %12.2f %12.2f %8.3f\n", d.Name, d.Old, d.New, d.Ratio)
+	}
+	if len(c.MissingOld) > 0 {
+		fmt.Fprintf(&sb, "new metrics (no baseline): %s\n", strings.Join(c.MissingOld, ", "))
+	}
+	if len(c.MissingNew) > 0 {
+		fmt.Fprintf(&sb, "dropped metrics: %s\n", strings.Join(c.MissingNew, ", "))
+	}
+	fmt.Fprintf(&sb, "geomean ratio: %.3f (warn > %.2f, fail > %.2f)\n",
+		c.Geomean, PerfWarnRatio, PerfFailRatio)
+	switch {
+	case c.Geomean > PerfFailRatio:
+		sb.WriteString("verdict: FAIL — regression beyond the tolerance band\n")
+	case c.Geomean > PerfWarnRatio:
+		sb.WriteString("verdict: WARN — regression within the tolerance band\n")
+	default:
+		sb.WriteString("verdict: OK\n")
+	}
+	return sb.String()
+}
+
+// Failed reports whether the comparison breaches the fail threshold.
+func (c *PerfComparison) Failed() bool { return c.Geomean > PerfFailRatio }

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func perfReport(vals map[string]float64) *PerfReport {
+	r := &PerfReport{Schema: PerfSchemaVersion}
+	for name, v := range vals {
+		better := "lower"
+		if name == "throughput/ozz" {
+			better = "higher"
+		}
+		r.add(name, "x", v, better)
+	}
+	return r
+}
+
+// TestComparePerfDirections: ratio normalization makes >1 mean "worse"
+// for both metric directions, and the geomean combines them.
+func TestComparePerfDirections(t *testing.T) {
+	old := perfReport(map[string]float64{"micro/a/ns": 100, "throughput/ozz": 1000})
+	// ns regressed 2x, throughput regressed 2x: both ratios must be 2.
+	cur := perfReport(map[string]float64{"micro/a/ns": 200, "throughput/ozz": 500})
+	c, err := ComparePerf(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range c.Deltas {
+		if math.Abs(d.Ratio-2) > 1e-9 {
+			t.Errorf("%s ratio = %.3f, want 2", d.Name, d.Ratio)
+		}
+	}
+	if math.Abs(c.Geomean-2) > 1e-9 {
+		t.Errorf("geomean = %.3f, want 2", c.Geomean)
+	}
+	if !c.Failed() {
+		t.Error("2x geomean regression must fail the gate")
+	}
+
+	// Improvements in both directions: ratios 0.5, verdict OK.
+	c, err = ComparePerf(cur, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Geomean-0.5) > 1e-9 || c.Failed() {
+		t.Errorf("improvement misjudged: geomean %.3f failed=%v", c.Geomean, c.Failed())
+	}
+}
+
+// TestComparePerfEqual: identical reports sit exactly at geomean 1.
+func TestComparePerfEqual(t *testing.T) {
+	r := perfReport(map[string]float64{"micro/a/ns": 100, "micro/a/allocs": 0})
+	c, err := ComparePerf(r, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Geomean != 1 || c.Failed() {
+		t.Errorf("self-compare: geomean %.3f failed=%v", c.Geomean, c.Failed())
+	}
+}
+
+// TestComparePerfZeroBaseline: a zero-allocs baseline regressing to
+// nonzero yields an infinite delta ratio but a clamped geomean
+// contribution, and zero-vs-zero counts as unchanged.
+func TestComparePerfZeroBaseline(t *testing.T) {
+	old := perfReport(map[string]float64{"micro/a/allocs": 0, "micro/b/allocs": 0})
+	cur := perfReport(map[string]float64{"micro/a/allocs": 3, "micro/b/allocs": 0})
+	c, err := ComparePerf(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(c.Deltas[0].Ratio, 1) {
+		t.Errorf("worst delta ratio = %v, want +Inf", c.Deltas[0].Ratio)
+	}
+	// Clamped at 10x for one of two metrics: geomean = sqrt(10*1).
+	if want := math.Sqrt(10); math.Abs(c.Geomean-want) > 1e-9 {
+		t.Errorf("geomean = %.3f, want %.3f", c.Geomean, want)
+	}
+	if !c.Failed() {
+		t.Error("alloc regression from zero must fail the gate")
+	}
+}
+
+// TestComparePerfSchemaAndMissing: schema mismatches refuse to compare;
+// metrics present on only one side are reported but not scored.
+func TestComparePerfSchemaAndMissing(t *testing.T) {
+	old := perfReport(map[string]float64{"micro/a/ns": 100, "micro/gone/ns": 5})
+	cur := perfReport(map[string]float64{"micro/a/ns": 100, "micro/new/ns": 7})
+	c, err := ComparePerf(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Deltas) != 1 || c.Geomean != 1 {
+		t.Errorf("scored %d deltas (geomean %.3f), want only the shared metric", len(c.Deltas), c.Geomean)
+	}
+	if len(c.MissingOld) != 1 || c.MissingOld[0] != "micro/new/ns" {
+		t.Errorf("MissingOld = %v", c.MissingOld)
+	}
+	if len(c.MissingNew) != 1 || c.MissingNew[0] != "micro/gone/ns" {
+		t.Errorf("MissingNew = %v", c.MissingNew)
+	}
+	old.Schema++
+	if _, err := ComparePerf(old, cur); err == nil {
+		t.Error("schema mismatch must refuse to compare")
+	}
+}
+
+// TestPerfReportRoundTrip: WriteFile/ReadPerfReport preserve the report.
+func TestPerfReportRoundTrip(t *testing.T) {
+	r := perfReport(map[string]float64{"micro/a/ns": 12.5})
+	r.Rev, r.Date, r.GoMaxProcs = "test", "2026-08-08", 4
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerfReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rev != "test" || got.Schema != PerfSchemaVersion || len(got.Metrics) != 1 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if got.Metrics[0].Name != "micro/a/ns" || got.Metrics[0].Value != 12.5 {
+		t.Errorf("metric mangled: %+v", got.Metrics[0])
+	}
+}
+
+// TestCollectPerfShape: one cheap collection produces every expected
+// metric group with sane values (smoke only; no timing assertions).
+func TestCollectPerfShape(t *testing.T) {
+	r := CollectPerf(PerfOpts{Rev: "t", ThroughputBudget: 50 * 1e6, LMBenchIters: 100})
+	if r.Schema != PerfSchemaVersion || r.GoMaxProcs < 1 {
+		t.Fatalf("header wrong: %+v", r)
+	}
+	groups := map[string]int{}
+	for _, m := range r.Metrics {
+		switch {
+		case m.Better != "higher" && m.Better != "lower":
+			t.Errorf("%s has bad direction %q", m.Name, m.Better)
+		case m.Value < 0:
+			t.Errorf("%s negative: %f", m.Name, m.Value)
+		}
+		for _, p := range []string{"micro/", "overhead/", "throughput/"} {
+			if len(m.Name) > len(p) && m.Name[:len(p)] == p {
+				groups[p]++
+			}
+		}
+	}
+	if groups["micro/"] < 12 || groups["overhead/"] < 10 || groups["throughput/"] < 3 {
+		t.Errorf("metric groups incomplete: %v", groups)
+	}
+}

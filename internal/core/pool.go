@@ -70,6 +70,60 @@ func (c *ShardedCov) MergeNew(cov map[uint64]struct{}) int {
 	return grew
 }
 
+// covRef is one edge reference inside a MergeBatch, tagged with the index
+// of the earliest batch map that contributed it.
+type covRef struct {
+	edge uint64
+	mi   int32
+}
+
+// MergeBatch is reusable scratch for MergeNewOrdered: per-shard buckets of
+// edge references. A zero value is ready to use; reusing one across calls
+// makes steady-state batch merging allocation-free. Not safe for
+// concurrent use of the same batch.
+type MergeBatch struct {
+	buckets [covShards][]covRef
+}
+
+// MergeNewOrdered inserts the union of maps into the set with one lock
+// round per touched shard — instead of one lock acquisition per edge — and
+// returns how many edges each map newly contributed. Novelty is attributed
+// in map order: an edge appearing in several maps counts only for the
+// earliest, byte-identical to merging the maps one at a time with
+// MergeNew. Nil maps are allowed and contribute nothing. batch may be nil
+// (scratch is then allocated per call).
+func (c *ShardedCov) MergeNewOrdered(maps []map[uint64]struct{}, batch *MergeBatch) []int {
+	counts := make([]int, len(maps))
+	if batch == nil {
+		batch = &MergeBatch{}
+	}
+	for i := range batch.buckets {
+		batch.buckets[i] = batch.buckets[i][:0]
+	}
+	for mi, m := range maps {
+		for e := range m {
+			si := shardOf(e)
+			batch.buckets[si] = append(batch.buckets[si], covRef{edge: e, mi: int32(mi)})
+		}
+	}
+	for si := range batch.buckets {
+		refs := batch.buckets[si]
+		if len(refs) == 0 {
+			continue
+		}
+		s := &c.shards[si]
+		s.mu.Lock()
+		for _, r := range refs {
+			if _, ok := s.m[r.edge]; !ok {
+				s.m[r.edge] = struct{}{}
+				counts[r.mi]++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return counts
+}
+
 // Len returns the number of distinct edges.
 func (c *ShardedCov) Len() int {
 	n := 0
@@ -177,6 +231,11 @@ type Pool struct {
 	stats  Stats
 	steps  uint64 // next global step index
 	start  time.Time
+
+	// mergeBatch/mergeMaps are batch-merge scratch, reused under mu so the
+	// per-batch coverage publication allocates nothing in steady state.
+	mergeBatch MergeBatch
+	mergeMaps  []map[uint64]struct{}
 }
 
 // NewPool builds a parallel campaign executor. workers <= 0 selects
@@ -390,8 +449,14 @@ func (p *Pool) runJob(jb job, wid int) jobResult {
 			if !mres.Fired {
 				res.vacuous++
 			}
+			// Record only edges the STI did not already cover: the STI
+			// coverage of the same step merges first, so sti-duplicate
+			// edges could never count as new — dropping them here shrinks
+			// the merge work without changing any outcome.
 			for e := range mres.Cov {
-				res.mtiCov[e] = struct{}{}
+				if _, dup := res.stiCov[e]; !dup {
+					res.mtiCov[e] = struct{}{}
+				}
 			}
 			p.harvestJob(&res, jb.prog, i, j, h, rank, mres)
 		}
@@ -446,8 +511,10 @@ func (p *Pool) harvestJob(res *jobResult, prog *syzlang.Program, i, j int, h *hi
 // merge folds one step result into the campaign state. Called in strict
 // step-index order; that ordering is what makes coverage novelty, corpus
 // admission, report deduplication, and Tests rebasing deterministic.
-// Caller holds p.mu.
-func (p *Pool) merge(res *jobResult, found *[]*report.Report) {
+// The step's coverage maps were already merged by the caller's batched
+// MergeNewOrdered; stiNew is the STI map's novelty count from that merge
+// (the corpus-admission signal). Caller holds p.mu.
+func (p *Pool) merge(res *jobResult, stiNew int, found *[]*report.Report) {
 	base := p.stats.MTIs
 	p.stats.Steps++
 	p.stats.STIs++
@@ -459,14 +526,11 @@ func (p *Pool) merge(res *jobResult, found *[]*report.Report) {
 	p.co.mtis.Add(res.mtis)
 	p.co.hintsTotal.Add(res.hints)
 	p.co.vacuous.Add(res.vacuous)
-	if p.Cov.MergeNew(res.stiCov) > 0 {
+	if stiNew > 0 {
 		p.stats.NewCov++
 		p.co.newCov.Inc()
 		p.corpus = append(p.corpus, res.prog)
 		p.stats.CorpusLen = len(p.corpus)
-	}
-	if res.mtiCov != nil {
-		p.Cov.MergeNew(res.mtiCov)
 	}
 	for _, jr := range res.reports {
 		if jr.rebaseTests {
@@ -547,11 +611,21 @@ func (p *Pool) run(steps int, deadline time.Time) []*report.Report {
 			r := <-results
 			pending[r.idx] = &r
 		}
-		// Merge in step-index order.
+		// Merge in step-index order. Coverage publishes per batch: the
+		// interleaved [sti_0, mti_0, sti_1, mti_1, ...] map order makes the
+		// shard-grouped merge's novelty attribution byte-identical to the
+		// former per-step MergeNew sequence, with one lock round per shard
+		// instead of one per edge.
 		p.mu.Lock()
 		mStart := time.Now()
+		p.mergeMaps = p.mergeMaps[:0]
 		for _, jb := range batch {
-			p.merge(pending[jb.idx], &found)
+			r := pending[jb.idx]
+			p.mergeMaps = append(p.mergeMaps, r.stiCov, r.mtiCov)
+		}
+		counts := p.Cov.MergeNewOrdered(p.mergeMaps, &p.mergeBatch)
+		for bi, jb := range batch {
+			p.merge(pending[jb.idx], counts[2*bi], &found)
 		}
 		observe(p.co.stMerge, mStart)
 		p.fillPerf(&p.stats)

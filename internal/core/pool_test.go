@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
@@ -189,6 +190,50 @@ func TestShardedCov(t *testing.T) {
 	want := map[uint64]struct{}{1: {}, 2: {}, 3: {}, 1 << 40: {}}
 	if !reflect.DeepEqual(c.Snapshot(), want) {
 		t.Errorf("Snapshot = %v, want %v", c.Snapshot(), want)
+	}
+}
+
+// TestMergeNewOrderedEquivalence: the shard-grouped batch merge must
+// produce exactly the per-map novelty counts and final set that merging
+// the maps one at a time with MergeNew would — including nil maps,
+// cross-map duplicates (earliest map wins), and reused scratch.
+func TestMergeNewOrderedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var batch MergeBatch
+	for round := 0; round < 20; round++ {
+		maps := make([]map[uint64]struct{}, rng.Intn(8))
+		for i := range maps {
+			if rng.Intn(5) == 0 {
+				continue // leave nil, like a crashed step's mtiCov
+			}
+			m := make(map[uint64]struct{})
+			for n := rng.Intn(40); n > 0; n-- {
+				m[uint64(rng.Intn(64))<<uint(rng.Intn(3)*20)] = struct{}{}
+			}
+			maps[i] = m
+		}
+		serial := NewShardedCov()
+		want := make([]int, len(maps))
+		for i, m := range maps {
+			if m != nil {
+				want[i] = serial.MergeNew(m)
+			}
+		}
+		batched := NewShardedCov()
+		got := batched.MergeNewOrdered(maps, &batch)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: novelty counts %v, want %v", round, got, want)
+		}
+		if !reflect.DeepEqual(batched.Snapshot(), serial.Snapshot()) {
+			t.Fatalf("round %d: batched set diverges from serial set", round)
+		}
+		// Merging the same maps again must report zero novelty everywhere.
+		again := batched.MergeNewOrdered(maps, &batch)
+		for i, n := range again {
+			if n != 0 {
+				t.Fatalf("round %d: re-merge map %d reported %d new edges", round, i, n)
+			}
+		}
 	}
 }
 

@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -97,6 +98,9 @@ type Engine struct {
 	// cache memoizes sequential profiling runs (see cache.go).
 	cache resultCache
 
+	// plans memoizes compiled OEMU directive plans (see plancache.go).
+	plans planCache
+
 	// m holds the engine's pre-resolved metric handles (see obs.go).
 	// Every lifecycle counter — kernel acquisitions, cache lookups, run
 	// outcomes, OEMU/scheduler activity — is registry-backed.
@@ -118,6 +122,8 @@ func NewObs(reg *obs.Registry) *Engine {
 	e := &Engine{m: newMetrics(reg)}
 	e.cache.hits = e.m.cacheHits
 	e.cache.misses = e.m.cacheMisses
+	e.plans.hits = e.m.planHits
+	e.plans.misses = e.m.planMisses
 	return e
 }
 
@@ -135,11 +141,21 @@ func (e *Engine) run(cfg Config, s Strategy, req Request, build buildFunc) *Resu
 	cfg.normalize()
 	start := time.Now()
 	k := e.acquire(&cfg)
+	// Engine runs record OEMU store history only when they can consume it:
+	// versioned loads exist solely in load-barrier MTIs, and the OOO
+	// strategy's Attach turns tracking back on for those (from clock 0, so
+	// the observable behavior is identical to always-on). Everything else —
+	// STI profiling, store-barrier MTIs, the baselines — skips the per-store
+	// history ring and stamp writes entirely. Strategies that install
+	// versioned-load directives some other way are still sound: arming a
+	// read-old directive mid-run re-enables tracking with a window floored
+	// at the arm point.
+	k.Em.SetHistoryTracking(false)
 	var impls map[string]modules.Impl
 	if build != nil {
 		impls = build(k)
 	} else {
-		impls = modules.Build(k, cfg.Bugs, cfg.Modules...)
+		impls = modules.BuildNamed(k, cfg.Bugs, moduleSubset(&cfg, req.Prog))
 	}
 	s.Attach(k, &req)
 	var res *Result
@@ -155,6 +171,67 @@ func (e *Engine) run(cfg Config, s Strategy, req Request, build buildFunc) *Resu
 	e.m.publishRun(s.Name(), shape, time.Since(start), res, k.Em.Counters())
 	e.release(k)
 	return res
+}
+
+// moduleSubset returns the module names to build for one run of prog: the
+// modules the program's calls actually belong to, intersected with the
+// configured universe. Building every registered module dominated the run
+// profile (~40% CPU, ~2/3 of allocations) while a typical program touches
+// one or two. The subset is a pure function of (program, config), so runs
+// stay deterministic, and the enosys semantics of disallowed modules are
+// preserved: a call whose module is outside cfg.Modules gets no
+// implementation either way. Programs with calls that don't name a
+// registered module (synthetic test defs) fall back to the configured
+// universe — the exact pre-subset behavior.
+func moduleSubset(cfg *Config, p *syzlang.Program) []string {
+	if p == nil {
+		return fullModuleList(cfg)
+	}
+	names := make([]string, 0, 4)
+	for i := range p.Calls {
+		m := p.Calls[i].Def.Module
+		if m == "" || modules.ByName(m) == nil {
+			return fullModuleList(cfg)
+		}
+		dup := false
+		for _, n := range names {
+			if n == m {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			names = append(names, m)
+		}
+	}
+	sort.Strings(names)
+	if len(cfg.Modules) > 0 {
+		kept := names[:0]
+		for _, n := range names {
+			for _, allowed := range cfg.Modules {
+				if n == allowed {
+					kept = append(kept, n)
+					break
+				}
+			}
+		}
+		names = kept
+	}
+	return names
+}
+
+// fullModuleList is the configured module universe: cfg.Modules when set,
+// else every registered module.
+func fullModuleList(cfg *Config) []string {
+	if len(cfg.Modules) > 0 {
+		return cfg.Modules
+	}
+	all := modules.All()
+	names := make([]string, len(all))
+	for i, m := range all {
+		names[i] = m.Name
+	}
+	return names
 }
 
 // KernelCounters reports how many kernel acquisitions were recycled from
@@ -320,6 +397,9 @@ func (e *Engine) runPair(k *kernel.Kernel, impls map[string]modules.Impl, cfg *C
 	// plan's directives/observers armed on the fresh tasks.
 	taskA := k.NewTask(1)
 	taskB := k.NewTask(2)
+	if plan.Reorder != nil {
+		taskA.OEMU().InstallPlan(e.plans.plan(p, plan.Reorder))
+	}
 	if plan.Arm != nil {
 		plan.Arm(taskA, taskB)
 	}

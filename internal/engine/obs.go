@@ -45,6 +45,9 @@ type metrics struct {
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
 
+	planHits   *obs.Counter
+	planMisses *obs.Counter
+
 	schedYields   *obs.Counter
 	schedSwitches *obs.Counter
 
@@ -54,6 +57,11 @@ type metrics struct {
 	oemuCommitted *obs.Counter
 	oemuWindow    *obs.Counter
 	oemuFlush     [5]*obs.Counter // indexed like flushCauses
+
+	oemuThreadRecycled *obs.Counter
+	oemuThreadBuilt    *obs.Counter
+	oemuRingRecycled   *obs.Counter
+	oemuRingBuilt      *obs.Counter
 }
 
 // newMetrics registers the engine metric families on reg and pre-creates
@@ -104,6 +112,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 	m.cacheHits = lookups.With("hit")
 	m.cacheMisses = lookups.With("miss")
 
+	planLookups := reg.CounterVec("ozz_plan_cache_lookups_total",
+		"Directive-plan cache lookups by outcome (precompiled OEMU reorder plans keyed by program + spec).",
+		"outcome")
+	m.planHits = planLookups.With("hit")
+	m.planMisses = planLookups.With("miss")
+
 	m.schedYields = reg.Counter("ozz_sched_yields_total",
 		"Scheduling points hit across all sessions (every instrumented access is one).")
 	m.schedSwitches = reg.Counter("ozz_sched_preemptions_total",
@@ -124,6 +138,17 @@ func newMetrics(reg *obs.Registry) *metrics {
 	for i, c := range flushCauses {
 		m.oemuFlush[i] = flushes.With(c)
 	}
+
+	threadAcquires := reg.CounterVec("ozz_oemu_thread_acquires_total",
+		"OEMU thread acquisitions by source: recycled from the emulator's freelist vs built fresh.",
+		"source")
+	m.oemuThreadRecycled = threadAcquires.With("recycled")
+	m.oemuThreadBuilt = threadAcquires.With("built")
+	ringAcquires := reg.CounterVec("ozz_oemu_history_ring_acquires_total",
+		"Store-history ring activations by source: recycled ring storage vs freshly allocated.",
+		"source")
+	m.oemuRingRecycled = ringAcquires.With("recycled")
+	m.oemuRingBuilt = ringAcquires.With("built")
 	return m
 }
 
@@ -164,4 +189,8 @@ func (m *metrics) publishRun(strategy, shape string, d time.Duration, res *Resul
 	for i, v := range [5]uint64{oc.FlushSmpWmb, oc.FlushSmpMb, oc.FlushRelease, oc.FlushInterrupt, oc.FlushSyscall} {
 		m.oemuFlush[i].Add(v)
 	}
+	m.oemuThreadRecycled.Add(oc.ThreadsRecycled)
+	m.oemuThreadBuilt.Add(oc.ThreadsBuilt)
+	m.oemuRingRecycled.Add(oc.HistRingsRecycled)
+	m.oemuRingBuilt.Add(oc.HistRingsBuilt)
 }

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+
+	"ozz/internal/hints"
+	"ozz/internal/obs"
+	"ozz/internal/oemu"
+	"ozz/internal/syzlang"
+)
+
+// planCacheCap bounds the number of cached directive plans. Like the STI
+// result cache, the cache is dropped wholesale (epoch clearing) at the
+// cap: O(1) eviction with no iteration-order nondeterminism.
+const planCacheCap = 4096
+
+// planCache memoizes precompiled OEMU directive plans keyed by the
+// program's canonical serialization plus the reorder spec (test kind and
+// site list). Hint generation emits the same (program, sites) pair for
+// every MTI schedule derived from one STI profile, and triage re-runs the
+// same MTI repeatedly — so compiling the sorted site slices once and
+// sharing the immutable *Plan removes per-run directive-set construction
+// from the hot loop.
+//
+// Safe for concurrent use. Cached plans are shared and immutable by
+// construction (oemu.Plan is read-only after CompilePlan; threads hold it
+// by reference and never write through it).
+type planCache struct {
+	mu sync.RWMutex
+	m  map[string]*oemu.Plan
+
+	// hits/misses are the engine registry's ozz_plan_cache_lookups_total
+	// children, wired at engine construction.
+	hits, misses *obs.Counter
+}
+
+// plan returns the compiled plan for the spec, compiling and caching it on
+// first sight. Two workers racing one uncached spec both compile (both
+// count a miss); the plans are equivalent, so last-write-wins is fine.
+func (c *planCache) plan(prog *syzlang.Program, spec *ReorderSpec) *oemu.Plan {
+	key := planKey(prog, spec)
+	c.mu.RLock()
+	p := c.m[key]
+	c.mu.RUnlock()
+	if p != nil {
+		c.hits.Inc()
+		return p
+	}
+	c.misses.Inc()
+	p = compileSpec(spec)
+	c.mu.Lock()
+	if c.m == nil || len(c.m) >= planCacheCap {
+		c.m = make(map[string]*oemu.Plan)
+	}
+	c.m[key] = p
+	c.mu.Unlock()
+	return p
+}
+
+// compileSpec maps the spec's test kind onto the directive kind of Table 2:
+// a store-barrier test delays the stores at the sites, a load-barrier test
+// makes the loads at the sites read old values.
+func compileSpec(spec *ReorderSpec) *oemu.Plan {
+	switch spec.Test {
+	case hints.StoreBarrierTest:
+		return oemu.CompilePlan(spec.Sites, nil)
+	case hints.LoadBarrierTest:
+		return oemu.CompilePlan(nil, spec.Sites)
+	}
+	return oemu.CompilePlan(nil, nil)
+}
+
+// planKey builds the cache key: program serialization, test kind byte,
+// then the site list little-endian. Sites come straight from the hint
+// (already deterministic order for a given hint), so byte-identical specs
+// collide exactly.
+func planKey(prog *syzlang.Program, spec *ReorderSpec) string {
+	var sb strings.Builder
+	pk := prog.Key()
+	sb.Grow(len(pk) + 2 + 8*len(spec.Sites))
+	sb.WriteString(pk)
+	sb.WriteByte(0)
+	sb.WriteByte(byte(spec.Test))
+	for _, s := range spec.Sites {
+		v := uint64(s)
+		for i := 0; i < 8; i++ {
+			sb.WriteByte(byte(v >> (8 * i)))
+		}
+	}
+	return sb.String()
+}
+
+// PlanCacheCounters reports directive-plan cache hits and misses (same
+// racing caveat as CacheCounters).
+func (e *Engine) PlanCacheCounters() (hits, misses uint64) {
+	return e.plans.hits.Value(), e.plans.misses.Value()
+}

@@ -4,6 +4,7 @@ import (
 	"ozz/internal/hints"
 	"ozz/internal/kernel"
 	"ozz/internal/sched"
+	"ozz/internal/trace"
 )
 
 // Strategy is an execution policy plugged into the engine: it decides how
@@ -45,14 +46,34 @@ type PairPlan struct {
 	// its STI; trailing calls can carry bug-detecting assertions). The
 	// baselines run no suffix.
 	Suffix bool
-	// Arm, if non-nil, runs after the pair tasks are created and before
-	// they are spawned — the hook for OEMU reordering directives and
-	// schedule-coupled state (ta is task 1, tb is task 2).
+	// Reorder, when non-nil, names the OEMU directive set task A (the
+	// reorderer) runs under. The engine resolves it through its
+	// precompiled-plan cache — keyed beside the STI profile cache by
+	// Program.Key — and installs the shared immutable plan on task A's
+	// OEMU thread before Arm runs, so per-run directive-set construction
+	// happens at most once per distinct (program, test, sites).
+	Reorder *ReorderSpec
+	// Arm, if non-nil, runs after the pair tasks are created, after the
+	// Reorder plan is installed, and before the tasks are spawned — the
+	// hook for schedule-coupled state and ad-hoc directives (ta is task 1,
+	// tb is task 2).
 	Arm func(ta, tb *kernel.Task)
 	// Finish, if non-nil, runs after the concurrent stage completes
 	// (before the suffix) to harvest strategy-specific outcomes into the
 	// result (breakpoint fired, reorder counts, ...).
 	Finish func(res *Result, ta, tb *kernel.Task)
+}
+
+// ReorderSpec names an OEMU directive set declaratively: the hypothetical
+// barrier test kind plus the instruction sites it reorders (Table 2 — a
+// store-barrier test delays the stores at Sites, a load-barrier test makes
+// the loads at Sites read old values). Specs are values the engine can
+// hash and cache; the compiled form is oemu.Plan.
+type ReorderSpec struct {
+	// Test is the hypothetical barrier test kind the directives emulate.
+	Test hints.TestKind
+	// Sites are the instruction sites the directives apply to.
+	Sites []trace.InstrID
 }
 
 // OOO is OZZ's hypothetical-memory-barrier strategy (§4.4): the
@@ -65,8 +86,17 @@ type OOO struct{}
 // Name implements Strategy.
 func (OOO) Name() string { return "ooo" }
 
-// Attach implements Strategy (no observers).
-func (OOO) Attach(*kernel.Kernel, *Request) {}
+// Attach implements Strategy: no observers, but load-barrier MTIs need
+// OEMU store-history tracking on from the very first prefix access — a
+// versioned load may legitimately observe prefix-era values — so Attach
+// re-enables the tracking the engine disables by default for engine runs.
+// Store-barrier tests and sequential (STI) runs execute no versioned
+// loads and leave it off.
+func (OOO) Attach(k *kernel.Kernel, req *Request) {
+	if req.Hint != nil && !req.NoReorder && req.Hint.Test == hints.LoadBarrierTest {
+		k.Em.SetHistoryTracking(true)
+	}
+}
 
 // Pair implements Strategy: the hint selects reorderer/observer roles,
 // the directive kind, and the breakpoint position.
@@ -90,24 +120,18 @@ func (OOO) Pair(cfg *Config, req *Request) *PairPlan {
 		Pos:        pos,
 		ToTask:     2,
 	}
-	noReorder := req.NoReorder
+	var spec *ReorderSpec
+	if !req.NoReorder && len(hint.Reorder) > 0 {
+		spec = &ReorderSpec{Test: hint.Test, Sites: hint.Reorder}
+	}
 	interrupt := cfg.InterruptOnSwitch
 	return &PairPlan{
-		Policy: bp,
-		CallA:  callA,
-		CallB:  callB,
-		Suffix: true,
+		Policy:  bp,
+		CallA:   callA,
+		CallB:   callB,
+		Suffix:  true,
+		Reorder: spec,
 		Arm: func(ta, _ *kernel.Task) {
-			if !noReorder {
-				for _, s := range hint.Reorder {
-					switch hint.Test {
-					case hints.StoreBarrierTest:
-						ta.OEMU().Dir.DelayStoreAt(s)
-					case hints.LoadBarrierTest:
-						ta.OEMU().Dir.ReadOldValueAt(s)
-					}
-				}
-			}
 			if interrupt {
 				bp.OnSwitch = ta.Interrupt
 			}

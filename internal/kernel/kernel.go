@@ -149,10 +149,11 @@ func (k *Kernel) Reset() {
 // NewTask creates a simulated kernel task pinned to the given CPU.
 func (k *Kernel) NewTask(cpu int) *Task {
 	t := &Task{
-		K:   k,
-		ID:  k.nextID,
-		oe:  k.Em.NewThread(k.nextID),
-		cpu: cpu,
+		K:        k,
+		ID:       k.nextID,
+		oe:       k.Em.NewThread(k.nextID),
+		cpu:      cpu,
+		lastEdge: noEdge,
 	}
 	k.nextID++
 	k.tasks = append(k.tasks, t)
@@ -199,7 +200,15 @@ type Task struct {
 
 	fnStack  []string
 	prevSite trace.InstrID
+	// lastEdge caches the coverage edge inserted by the previous yield so
+	// tight loops re-hitting the same edge (spin waits, scan loops) skip
+	// the map assignment. Initialized to an impossible edge value.
+	lastEdge uint64
 }
+
+// noEdge is the lastEdge sentinel: site ids are far below 2^32, so a real
+// edge never has all upper bits set.
+const noEdge = ^uint64(0)
 
 // Bind attaches the task to a scheduler-session task handle. The kernel task
 // persists across sessions (its OEMU store buffer survives); the session
@@ -242,7 +251,11 @@ func (t *Task) yield(i trace.InstrID) {
 	if t.sch != nil {
 		t.sch.Yield(i)
 	}
-	t.K.Cov[uint64(t.prevSite)<<32|uint64(i)] = struct{}{}
+	edge := uint64(t.prevSite)<<32 | uint64(i)
+	if edge != t.lastEdge {
+		t.K.Cov[edge] = struct{}{}
+		t.lastEdge = edge
+	}
 	t.prevSite = i
 }
 

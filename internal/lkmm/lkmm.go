@@ -147,17 +147,68 @@ func Run(test *Test) *Result {
 	}
 	for mask := 0; mask < 1<<len(sites); mask++ {
 		enumerateInterleavings(test, func(order []int) {
-			regs := execute(test, order, func(d *oemu.Directives) {
+			regs := execute(test, order, func(th *oemu.Thread) {
 				for bi, s := range sites {
 					if mask&(1<<bi) == 0 {
 						continue
 					}
 					if s.store {
-						d.DelayStoreAt(s.instr)
+						th.Dir.DelayStoreAt(s.instr)
 					} else {
-						d.ReadOldValueAt(s.instr)
+						th.Dir.ReadOldValueAt(s.instr)
 					}
 				}
+			})
+			res.Outcomes[MakeOutcome(regs)] = true
+			res.Runs++
+		})
+	}
+	return res
+}
+
+// RunPlanned is Run with every directive assignment installed through the
+// precompiled-plan path (oemu.CompilePlan + Thread.InstallPlan) instead of
+// incremental DelayStoreAt/ReadOldValueAt calls. Each mask's plan is
+// compiled once and shared by all interleavings of that mask — exactly how
+// the engine's plan cache shares one immutable plan across runs — so
+// equality of Run and RunPlanned over a test proves the plan path cannot
+// change litmus semantics.
+func RunPlanned(test *Test) *Result {
+	res := &Result{Outcomes: make(map[Outcome]bool)}
+	type dirSite struct {
+		instr trace.InstrID
+		store bool
+	}
+	var sites []dirSite
+	for ti, th := range test.Threads {
+		for oi, op := range th {
+			switch op.Kind {
+			case OpStore:
+				sites = append(sites, dirSite{instrID(ti, oi), true})
+			case OpLoad:
+				sites = append(sites, dirSite{instrID(ti, oi), false})
+			}
+		}
+	}
+	if len(sites) > 12 {
+		panic("litmus test too large for exhaustive directive enumeration")
+	}
+	for mask := 0; mask < 1<<len(sites); mask++ {
+		var delay, read []trace.InstrID
+		for bi, s := range sites {
+			if mask&(1<<bi) == 0 {
+				continue
+			}
+			if s.store {
+				delay = append(delay, s.instr)
+			} else {
+				read = append(read, s.instr)
+			}
+		}
+		plan := oemu.CompilePlan(delay, read)
+		enumerateInterleavings(test, func(order []int) {
+			regs := execute(test, order, func(th *oemu.Thread) {
+				th.InstallPlan(plan)
 			})
 			res.Outcomes[MakeOutcome(regs)] = true
 			res.Runs++
@@ -195,18 +246,18 @@ func enumerateInterleavings(test *Test, visit func(order []int)) {
 	_ = counts
 }
 
-// execute runs one interleaving with the given directives installed on
-// every thread and returns the final registers. Store buffers drain at
-// thread exit (like a syscall return); registers are read after all
-// threads finish.
-func execute(test *Test, order []int, install func(*oemu.Directives)) []uint64 {
+// execute runs one interleaving with install applied to every thread
+// (incremental directives or a precompiled plan) and returns the final
+// registers. Store buffers drain at thread exit (like a syscall return);
+// registers are read after all threads finish.
+func execute(test *Test, order []int, install func(*oemu.Thread)) []uint64 {
 	mem := kmem.New()
 	mem.Sanitize = false
 	em := oemu.New(mem)
 	threads := make([]*oemu.Thread, len(test.Threads))
 	for i := range threads {
 		threads[i] = em.NewThread(i)
-		install(&threads[i].Dir)
+		install(threads[i])
 	}
 	regs := make([]uint64, test.NumRegs)
 	idx := make([]int, len(test.Threads))

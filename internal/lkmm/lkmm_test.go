@@ -3,6 +3,7 @@ package lkmm
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -395,5 +396,23 @@ func TestPropertyNoInventedValues(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunPlannedEquivalence: over the whole named suite, installing each
+// directive assignment as a precompiled shared plan (the engine's cached
+// path) observes exactly the outcome set the incremental directive path
+// does, from exactly as many runs.
+func TestRunPlannedEquivalence(t *testing.T) {
+	for _, e := range Suite() {
+		inc := Run(e.Test)
+		planned := RunPlanned(e.Test)
+		if planned.Runs != inc.Runs {
+			t.Errorf("%s: planned %d runs vs incremental %d", e.Test.Name, planned.Runs, inc.Runs)
+		}
+		if !reflect.DeepEqual(planned.Outcomes, inc.Outcomes) {
+			t.Errorf("%s: outcome sets diverge\n  incremental: %v\n  planned:     %v",
+				e.Test.Name, inc.Sorted(), planned.Sorted())
+		}
 	}
 }

@@ -17,6 +17,12 @@
 // Absent directives, OEMU executes in order. Reordering complies with the
 // Linux Kernel Memory Model's seven preserved-program-order cases (§3.3,
 // §10.1); see the package tests and internal/lkmm for the compliance suite.
+//
+// The per-address bookkeeping (store history, per-thread coherence stamps)
+// is arena-based: addresses are interned into dense indices, history lives
+// in fixed-capacity rings recycled across Reset, and per-thread stamps are
+// dense slices cleared in place — so a recycled emulator executes a
+// no-directive run without allocating.
 package oemu
 
 import (
@@ -28,45 +34,198 @@ import (
 
 // historyCapPerAddr bounds the per-location store history. Entries beyond
 // the cap are evicted oldest-first; evicting limits how far back a versioned
-// load can reach, which only makes emulation more conservative.
+// load can reach, which only makes emulation more conservative. Must be a
+// power of two: the ring index math masks with historyCapPerAddr-1.
 const historyCapPerAddr = 128
 
+// internCap bounds the persistent address-intern table. Interned addresses
+// recur across recycled runs (the simulated allocator hands out the same
+// address ranges after every Reset), so the table normally stabilizes at
+// the campaign's working-set size; the cap is a backstop against unbounded
+// growth under adversarial address churn.
+const internCap = 1 << 14
+
 // Directives is the per-thread reordering plan, set through the Table 2
-// interfaces before a test run. Instruction sites appearing in DelayStore
-// have their store operations delayed in the virtual store buffer; sites in
-// ReadOld have their load operations read an old value from the store
-// history (subject to the versioning window).
+// interfaces before a test run. Instruction sites added via DelayStoreAt
+// have their store operations delayed in the virtual store buffer; sites
+// added via ReadOldValueAt have their load operations read an old value
+// from the store history (subject to the versioning window).
+//
+// Ownership: a Directives value is owned by its Thread (or, for standalone
+// use, by the single caller that built it with NewDirectives). The site
+// sets are sorted slices mutated through the pointer-receiver methods;
+// copying the struct by value shares the underlying arrays and must not be
+// combined with further mutation — use the owning Thread's Dir field (which
+// is addressable) or a *Directives, never a copy. Precompiled plans attach
+// by reference (InstallPlan) and are never mutated.
 type Directives struct {
-	DelayStore map[trace.InstrID]bool
-	ReadOld    map[trace.InstrID]bool
+	// plan is an immutable precompiled site set, shared across runs.
+	plan *Plan
+	// delayStore/readOld are the incrementally-added site sets, sorted
+	// ascending, deduplicated.
+	delayStore []trace.InstrID
+	readOld    []trace.InstrID
+
+	// em, when the Directives belong to a Thread, lets ReadOldValueAt arm
+	// store-history tracking on the owning emulator (nil for standalone
+	// plans, whose emulator tracks history by default).
+	em *OEMU
 }
 
 // NewDirectives returns an empty plan (in-order execution).
-func NewDirectives() Directives {
-	return Directives{
-		DelayStore: make(map[trace.InstrID]bool),
-		ReadOld:    make(map[trace.InstrID]bool),
+func NewDirectives() Directives { return Directives{} }
+
+// insertSorted adds i to the sorted set s if absent.
+func insertSorted(s []trace.InstrID, i trace.InstrID) []trace.InstrID {
+	lo := 0
+	for lo < len(s) && s[lo] < i {
+		lo++
 	}
+	if lo < len(s) && s[lo] == i {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = i
+	return s
+}
+
+// containsSorted reports membership in a sorted site set. The sets are tiny
+// (one to a handful of sites), so a linear scan beats hashing.
+func containsSorted(s []trace.InstrID, i trace.InstrID) bool {
+	for _, v := range s {
+		if v >= i {
+			return v == i
+		}
+	}
+	return false
 }
 
 // DelayStoreAt requests that stores executed by instruction site i be
 // delayed (Table 2: delay_store_at).
-func (d *Directives) DelayStoreAt(i trace.InstrID) { d.DelayStore[i] = true }
+func (d *Directives) DelayStoreAt(i trace.InstrID) {
+	d.delayStore = insertSorted(d.delayStore, i)
+}
 
 // ReadOldValueAt requests that loads executed by instruction site i read an
-// old value (Table 2: read_old_value_at).
-func (d *Directives) ReadOldValueAt(i trace.InstrID) { d.ReadOld[i] = true }
+// old value (Table 2: read_old_value_at). On a Thread whose emulator has
+// store-history tracking disabled, this re-enables it conservatively: the
+// history is recorded from this point on, and versioned loads cannot reach
+// past it.
+func (d *Directives) ReadOldValueAt(i trace.InstrID) {
+	d.readOld = insertSorted(d.readOld, i)
+	if d.em != nil {
+		d.em.armHistory()
+	}
+}
+
+// hasDelay reports whether stores at site i are directed to delay.
+func (d *Directives) hasDelay(i trace.InstrID) bool {
+	if d.plan != nil && containsSorted(d.plan.delayStore, i) {
+		return true
+	}
+	return containsSorted(d.delayStore, i)
+}
+
+// hasReadOld reports whether loads at site i are directed to version.
+func (d *Directives) hasReadOld(i trace.InstrID) bool {
+	if d.plan != nil && containsSorted(d.plan.readOld, i) {
+		return true
+	}
+	return containsSorted(d.readOld, i)
+}
 
 // Empty reports whether the plan requests no reordering.
-func (d *Directives) Empty() bool { return len(d.DelayStore) == 0 && len(d.ReadOld) == 0 }
+func (d *Directives) Empty() bool {
+	return (d.plan == nil || d.plan.Empty()) && len(d.delayStore) == 0 && len(d.readOld) == 0
+}
 
-// histEntry records one committed store: the location, the value it
-// overwrote, the value it wrote, the commit timestamp, and the committing
-// thread.
+// reset clears the directive sets in place, dropping any installed plan.
+func (d *Directives) reset() {
+	d.plan = nil
+	d.delayStore = d.delayStore[:0]
+	d.readOld = d.readOld[:0]
+}
+
+// Plan is an immutable, precompiled reordering plan: the two Table 2 site
+// sets in canonical (sorted, deduplicated) form. A Plan is compiled once
+// per distinct directive set, cached by the caller, and shared by reference
+// across any number of threads and runs — it is never mutated after
+// CompilePlan returns.
+type Plan struct {
+	delayStore []trace.InstrID
+	readOld    []trace.InstrID
+}
+
+// CompilePlan canonicalizes the given site sets into an immutable Plan.
+// The inputs are copied; the caller keeps ownership of its slices.
+func CompilePlan(delayStore, readOld []trace.InstrID) *Plan {
+	p := &Plan{}
+	for _, s := range delayStore {
+		p.delayStore = insertSorted(p.delayStore, s)
+	}
+	for _, s := range readOld {
+		p.readOld = insertSorted(p.readOld, s)
+	}
+	return p
+}
+
+// DelaySites returns the canonical delayed-store site set (read-only).
+func (p *Plan) DelaySites() []trace.InstrID { return p.delayStore }
+
+// ReadSites returns the canonical versioned-load site set (read-only).
+func (p *Plan) ReadSites() []trace.InstrID { return p.readOld }
+
+// Empty reports whether the plan requests no reordering.
+func (p *Plan) Empty() bool { return len(p.delayStore) == 0 && len(p.readOld) == 0 }
+
+// HasReads reports whether the plan contains versioned-load directives
+// (which require store-history tracking).
+func (p *Plan) HasReads() bool { return len(p.readOld) > 0 }
+
+// InstallPlan attaches a precompiled plan to the thread's directives by
+// reference (no copying; the plan stays immutable and shared). Installing a
+// plan with versioned-load sites arms store-history tracking, exactly like
+// calling ReadOldValueAt for each site.
+func (t *Thread) InstallPlan(p *Plan) {
+	t.Dir.plan = p
+	if p != nil && p.HasReads() {
+		t.em.armHistory()
+	}
+}
+
+// histEntry records one committed store: the value it overwrote, the value
+// it wrote, the commit timestamp, and the committing thread.
 type histEntry struct {
 	old, new uint64
 	time     uint64
 	thread   int
+}
+
+// histRing is the per-location store history: a fixed-capacity ring of the
+// most recent historyCapPerAddr commits, overwritten oldest-first in place.
+// The entry array is allocated on a location's first commit and retained
+// across Reset, so recycled runs record history without allocating.
+type histRing struct {
+	entries []histEntry // nil until first commit; len == historyCapPerAddr
+	start   int32       // index of the oldest entry
+	n       int32
+}
+
+// push appends a commit, evicting the oldest entry once full.
+func (r *histRing) push(e histEntry) {
+	if int(r.n) < historyCapPerAddr {
+		r.entries[(int(r.start)+int(r.n))&(historyCapPerAddr-1)] = e
+		r.n++
+		return
+	}
+	r.entries[r.start] = e
+	r.start = (r.start + 1) & (historyCapPerAddr - 1)
+}
+
+// at returns the k-th entry, oldest first (0 <= k < n).
+func (r *histRing) at(k int) histEntry {
+	return r.entries[(int(r.start)+k)&(historyCapPerAddr-1)]
 }
 
 // pendingStore is one in-flight entry of a virtual store buffer.
@@ -123,8 +282,11 @@ type Thread struct {
 	ID  int
 	Dir Directives
 
-	sb      []pendingStore
-	sbIndex map[trace.Addr]int // addr -> index into sb
+	// sb is the virtual store buffer. It holds at most one entry per
+	// location (coalescing preserves per-location program order) and is
+	// tiny — bounded by the delayed-store sites of one system call — so
+	// membership is a linear scan rather than a side index.
+	sb []pendingStore
 
 	// tRmb is the start of the versioning window: the logical time of the
 	// most recent load/full/acquire barrier (or annotated load) executed
@@ -132,19 +294,22 @@ type Thread struct {
 	// location held after tRmb.
 	tRmb uint64
 
-	// lastCommit records, per address, the time of this thread's own most
-	// recent committed store. A versioned load must never observe a value
-	// older than the thread's own committed store to the same location
-	// (per-location coherence; the store-buffer priority rule of §3.2
-	// generalized to already-committed stores).
-	lastCommit map[trace.Addr]uint64
+	// lastCommit records, per interned location, the time of this thread's
+	// own most recent committed store. A versioned load must never observe
+	// a value older than the thread's own committed store to the same
+	// location (per-location coherence; the store-buffer priority rule of
+	// §3.2 generalized to already-committed stores). Indexed by the
+	// emulator's dense address index; maintained only while store-history
+	// tracking is on (it is only consulted by versioned loads).
+	lastCommit stamps
 
-	// seen records, per address, the version time of the value this
-	// thread most recently READ from the location. Per-location read-read
-	// coherence (CoRR — preserved even on Alpha) forbids a later load of
-	// the same location from observing an older version, so versioned
-	// loads floor their window at it.
-	seen map[trace.Addr]uint64
+	// seen records, per interned location, the version time of the value
+	// this thread most recently READ from the location. Per-location
+	// read-read coherence (CoRR — preserved even on Alpha) forbids a later
+	// load of the same location from observing an older version, so
+	// versioned loads floor their window at it. Same indexing and tracking
+	// regime as lastCommit.
+	seen stamps
 
 	// Log accumulates reorderings that actually occurred.
 	Log []ReorderRecord
@@ -152,12 +317,36 @@ type Thread struct {
 	em *OEMU
 }
 
+// at reads a dense-indexed stamp, treating missing tail entries as zero.
+func (s stamps) at(idx int32) uint64 {
+	if int(idx) < len(s) {
+		return s[idx]
+	}
+	return 0
+}
+
+// setStamp writes a dense-indexed stamp, growing the slice to cover idx.
+// Growth only happens while the emulator's intern set is still expanding;
+// steady-state recycled runs write in place.
+func (s stamps) set(idx int32, v uint64) stamps {
+	for len(s) <= int(idx) {
+		s = append(s, 0)
+	}
+	s[idx] = v
+	return s
+}
+
+// stamps is a dense-indexed per-location timestamp vector.
+type stamps []uint64
+
 // Counters is the per-execution OEMU activity tally (§3 mechanisms made
 // visible). Fields are plain uint64s — OEMU is driven by exactly one
-// running thread at a time, so no atomics are needed — and they are
-// deterministic for a given (program, hint, seed): the same run always
-// produces the same counts. The engine harvests them into the campaign
-// metrics registry after each execution.
+// running thread at a time, so no atomics are needed. All fields except
+// the arena block are deterministic for a given (program, hint, seed): the
+// same run always produces the same counts. The arena fields (Threads*/
+// HistRings*) depend on whether the emulator was recycled or fresh, so
+// they are observability-only. The engine harvests the whole struct into
+// the campaign metrics registry after each execution.
 type Counters struct {
 	// StoresDelayed counts stores held in a virtual store buffer (§3.1).
 	StoresDelayed uint64
@@ -187,6 +376,20 @@ type Counters struct {
 	// (load/full/acquire barriers and annotated loads, when the clock has
 	// advanced since the last window start).
 	LoadWindowAdvances uint64
+
+	// ThreadsRecycled counts NewThread acquisitions served from the
+	// retired-thread freelist since the last Reset (arena tally,
+	// recycling-dependent, not run-deterministic).
+	ThreadsRecycled uint64
+	// ThreadsBuilt counts NewThread acquisitions that allocated a fresh
+	// Thread struct.
+	ThreadsBuilt uint64
+	// HistRingsRecycled counts store-history rings activated this run
+	// whose entry array was retained from an earlier run.
+	HistRingsRecycled uint64
+	// HistRingsBuilt counts store-history rings whose entry array was
+	// allocated fresh this run.
+	HistRingsBuilt uint64
 }
 
 // OEMU is the emulator instance shared by all threads of one simulated
@@ -197,11 +400,36 @@ type OEMU struct {
 	Mem   *kmem.Memory
 	clock uint64
 
-	history map[trace.Addr][]histEntry
+	// trackHistory selects whether commits are recorded into the store
+	// history (and coherence stamps maintained). It is on by default —
+	// a fresh or reset emulator behaves exactly like the paper's — and
+	// an executor that knows a run installs no versioned-load directive
+	// may turn it off (SetHistoryTracking) to skip the bookkeeping, which
+	// is unobservable without such directives.
+	trackHistory bool
+	// armFloor is the clock value at which history tracking was (re)armed
+	// mid-run; versioned loads cannot observe values from before it (the
+	// history before arming was never recorded). Zero when tracking has
+	// been on since the run started.
+	armFloor uint64
+
+	// addrIndex interns accessed addresses into dense indices. It persists
+	// across Reset — the simulated allocator reuses the same address
+	// ranges run after run — so steady-state runs do no map inserts.
+	addrIndex map[trace.Addr]int32
+	// addrs maps dense index back to address (diagnostics, cap clearing).
+	addrs []trace.Addr
+	// hist holds the per-location store-history rings, dense-indexed.
+	// Entry arrays are allocated on first use and retained across Reset.
+	hist []histRing
+	// histTouched lists the dense indices whose ring recorded at least one
+	// commit since the last Reset, so Reset clears O(touched) rings.
+	histTouched []int32
 
 	threads []*Thread
-	// free holds retired Thread structs (with their maps) for reuse by
-	// NewThread after a Reset, cutting per-execution allocation churn.
+	// free holds retired Thread structs (with their slice storage) for
+	// reuse by NewThread after a Reset, cutting per-execution allocation
+	// churn.
 	free []*Thread
 
 	// n tallies emulation activity since the last Reset.
@@ -214,13 +442,78 @@ func (em *OEMU) Counters() Counters { return em.n }
 // New returns an emulator over the given memory.
 func New(mem *kmem.Memory) *OEMU {
 	return &OEMU{
-		Mem:     mem,
-		history: make(map[trace.Addr][]histEntry),
+		Mem:          mem,
+		trackHistory: true,
+		addrIndex:    make(map[trace.Addr]int32),
+	}
+}
+
+// SetHistoryTracking turns store-history recording on or off. Tracking is
+// on by default. Turning it off is a pure optimization valid only for runs
+// that execute no versioned loads (no ReadOldValueAt directive): without
+// such loads the history, and the per-thread coherence stamps it feeds,
+// are unobservable. Call it before the run executes accesses; a
+// ReadOldValueAt or InstallPlan with versioned-load sites re-enables
+// tracking conservatively (versioned loads then cannot reach past the
+// re-enable point, because no earlier history exists).
+func (em *OEMU) SetHistoryTracking(on bool) {
+	if on {
+		em.armHistory()
+		return
+	}
+	em.trackHistory = false
+}
+
+// armHistory enables history tracking, flooring versioned loads at the
+// current clock when enabling mid-run (values committed while tracking was
+// off were never recorded and can no longer be observed).
+func (em *OEMU) armHistory() {
+	if em.trackHistory {
+		return
+	}
+	em.trackHistory = true
+	em.armFloor = em.clock
+}
+
+// HistoryTracking reports whether commits are being recorded.
+func (em *OEMU) HistoryTracking() bool { return em.trackHistory }
+
+// addrOf interns an address into its dense index, growing the per-address
+// tables on first sight.
+func (em *OEMU) addrOf(addr trace.Addr) int32 {
+	if idx, ok := em.addrIndex[addr]; ok {
+		return idx
+	}
+	if len(em.addrs) >= internCap {
+		em.clearIntern()
+	}
+	idx := int32(len(em.addrs))
+	em.addrIndex[addr] = idx
+	em.addrs = append(em.addrs, addr)
+	em.hist = append(em.hist, histRing{})
+	return idx
+}
+
+// clearIntern drops the intern table and everything indexed by it (the cap
+// backstop; steady-state campaigns never hit it). Thread stamps keyed by
+// the old indices are cleared too.
+func (em *OEMU) clearIntern() {
+	clear(em.addrIndex)
+	em.addrs = em.addrs[:0]
+	em.hist = em.hist[:0]
+	em.histTouched = em.histTouched[:0]
+	for _, t := range em.threads {
+		clear(t.lastCommit)
+		clear(t.seen)
+	}
+	for _, t := range em.free {
+		clear(t.lastCommit)
+		clear(t.seen)
 	}
 }
 
 // NewThread registers a new emulated hardware thread, reusing a retired
-// Thread (and its map storage) when one is available.
+// Thread (and its slice storage) when one is available.
 func (em *OEMU) NewThread(id int) *Thread {
 	if n := len(em.free); n > 0 {
 		t := em.free[n-1]
@@ -228,28 +521,32 @@ func (em *OEMU) NewThread(id int) *Thread {
 		em.free = em.free[:n-1]
 		t.ID = id
 		em.threads = append(em.threads, t)
+		em.n.ThreadsRecycled++
 		return t
 	}
-	t := &Thread{
-		ID:         id,
-		Dir:        NewDirectives(),
-		sbIndex:    make(map[trace.Addr]int),
-		lastCommit: make(map[trace.Addr]uint64),
-		seen:       make(map[trace.Addr]uint64),
-		em:         em,
-	}
+	t := &Thread{ID: id, em: em}
+	t.Dir.em = em
 	em.threads = append(em.threads, t)
+	em.n.ThreadsBuilt++
 	return t
 }
 
 // Reset returns the emulator to its freshly-constructed state — clock at
-// zero, empty store history, no registered threads — while retiring the
-// current Thread structs into a freelist for reuse. A reset OEMU behaves
-// identically to New over a reset Memory.
+// zero, empty store history, tracking on, no registered threads — while
+// retiring the current Thread structs into a freelist and keeping ring
+// entry arrays attached to their interned locations for reuse. A reset
+// OEMU behaves identically to New over a reset Memory.
 func (em *OEMU) Reset() {
 	em.clock = 0
 	em.n = Counters{}
-	clear(em.history)
+	em.trackHistory = true
+	em.armFloor = 0
+	for _, idx := range em.histTouched {
+		r := &em.hist[idx]
+		r.start = 0
+		r.n = 0
+	}
+	em.histTouched = em.histTouched[:0]
 	for _, t := range em.threads {
 		t.reset()
 		em.free = append(em.free, t)
@@ -257,13 +554,11 @@ func (em *OEMU) Reset() {
 	em.threads = em.threads[:0]
 }
 
-// reset clears all per-thread emulation state while keeping map/slice
-// storage for reuse.
+// reset clears all per-thread emulation state while keeping slice storage
+// for reuse.
 func (t *Thread) reset() {
-	clear(t.Dir.DelayStore)
-	clear(t.Dir.ReadOld)
+	t.Dir.reset()
 	t.sb = t.sb[:0]
-	clear(t.sbIndex)
 	t.tRmb = 0
 	clear(t.lastCommit)
 	clear(t.seen)
@@ -273,19 +568,32 @@ func (t *Thread) reset() {
 // Now returns the current logical time. The clock advances on every commit.
 func (em *OEMU) Now() uint64 { return em.clock }
 
-// commit writes a value to memory, advances the clock, and records the
-// transition in the store history.
+// commit writes a value to memory, advances the clock, and — while history
+// tracking is on — records the transition in the store history and stamps
+// the thread's own-store coherence floor.
 func (em *OEMU) commit(t *Thread, addr trace.Addr, val uint64) {
+	if !em.trackHistory {
+		em.Mem.Write(addr, val)
+		em.clock++
+		em.n.StoresCommitted++
+		return
+	}
 	old := em.Mem.Read(addr)
 	em.Mem.Write(addr, val)
 	em.clock++
-	h := em.history[addr]
-	h = append(h, histEntry{old: old, new: val, time: em.clock, thread: t.ID})
-	if len(h) > historyCapPerAddr {
-		h = h[len(h)-historyCapPerAddr:]
+	idx := em.addrOf(addr)
+	r := &em.hist[idx]
+	if r.n == 0 && r.start == 0 {
+		if r.entries == nil {
+			r.entries = make([]histEntry, historyCapPerAddr)
+			em.n.HistRingsBuilt++
+		} else {
+			em.n.HistRingsRecycled++
+		}
+		em.histTouched = append(em.histTouched, idx)
 	}
-	em.history[addr] = h
-	t.lastCommit[addr] = em.clock
+	r.push(histEntry{old: old, new: val, time: em.clock, thread: t.ID})
+	t.lastCommit = t.lastCommit.set(idx, em.clock)
 	em.n.StoresCommitted++
 }
 
@@ -295,9 +603,11 @@ func (em *OEMU) commit(t *Thread, addr trace.Addr, val uint64) {
 // the initial value), or ok=false when no store to addr committed after
 // floor — in which case the current memory value is already the
 // window-start value.
-func (em *OEMU) oldValue(addr trace.Addr, floor uint64) (val, versionTime uint64, ok bool) {
+func (em *OEMU) oldValue(idx int32, floor uint64) (val, versionTime uint64, ok bool) {
+	r := &em.hist[idx]
 	var prevTime uint64
-	for _, e := range em.history[addr] {
+	for k := 0; k < int(r.n); k++ {
+		e := r.at(k)
 		if e.time > floor {
 			return e.old, prevTime, true
 		}
@@ -306,14 +616,14 @@ func (em *OEMU) oldValue(addr trace.Addr, floor uint64) (val, versionTime uint64
 	return 0, 0, false
 }
 
-// latestTime returns the commit time of the newest store to addr (0 if the
-// location was never stored to through OEMU).
-func (em *OEMU) latestTime(addr trace.Addr) uint64 {
-	h := em.history[addr]
-	if len(h) == 0 {
+// latestTime returns the commit time of the newest store to the interned
+// location (0 if it was never stored to through OEMU).
+func (em *OEMU) latestTime(idx int32) uint64 {
+	r := &em.hist[idx]
+	if r.n == 0 {
 		return 0
 	}
-	return h[len(h)-1].time
+	return r.at(int(r.n) - 1).time
 }
 
 // Store executes a store operation at instruction site instr. Release
@@ -328,19 +638,20 @@ func (t *Thread) Store(instr trace.InstrID, addr trace.Addr, val uint64, atom tr
 		// loads already executed in place as OEMU never delays loads).
 		t.flush(&em.n.FlushRelease)
 	}
-	if idx, ok := t.sbIndex[addr]; ok {
-		// A delayed store to this location is already in flight.
-		// Coalesce: overwrite its value in place, preserving
-		// per-location program order (coherence). The intermediate
-		// value never becomes visible, which a real store buffer also
-		// permits.
-		t.sb[idx].val = val
-		t.sb[idx].instr = instr
-		return
+	for i := range t.sb {
+		if t.sb[i].addr == addr {
+			// A delayed store to this location is already in flight.
+			// Coalesce: overwrite its value in place, preserving
+			// per-location program order (coherence). The intermediate
+			// value never becomes visible, which a real store buffer
+			// also permits.
+			t.sb[i].val = val
+			t.sb[i].instr = instr
+			return
+		}
 	}
-	if t.Dir.DelayStore[instr] && !atom.IsRelease() {
+	if t.Dir.hasDelay(instr) && !atom.IsRelease() {
 		t.sb = append(t.sb, pendingStore{addr: addr, val: val, instr: instr})
-		t.sbIndex[addr] = len(t.sb) - 1
 		t.Log = append(t.Log, ReorderRecord{Kind: ReorderDelayedStore, Instr: instr, Addr: addr, Val: val})
 		em.n.StoresDelayed++
 		return
@@ -360,35 +671,41 @@ func (t *Thread) Load(instr trace.InstrID, addr trace.Addr, atom trace.Atomicity
 	em := t.em
 	var val uint64
 	switch {
-	case t.forwarded(addr):
-		val = t.sb[t.sbIndex[addr]].val
+	case t.forwardedVal(addr, &val):
 		t.Log = append(t.Log, ReorderRecord{Kind: ReorderForwarded, Instr: instr, Addr: addr, Val: val})
 		em.n.ForwardedLoads++
-	case t.Dir.ReadOld[instr]:
+	case em.trackHistory && t.Dir.hasReadOld(instr):
+		idx := em.addrOf(addr)
 		// The versioning window floor: the last load barrier, but never
 		// older than the thread's own committed store to the location,
 		// nor than the version it has already observed there (CoRR:
 		// per-location read-read coherence holds on every architecture,
-		// Alpha included).
+		// Alpha included), nor than the point history tracking was armed.
 		floor := t.tRmb
-		if lc := t.lastCommit[addr]; lc > floor {
+		if lc := t.lastCommit.at(idx); lc > floor {
 			floor = lc
 		}
-		if sv := t.seen[addr]; sv > floor {
+		if sv := t.seen.at(idx); sv > floor {
 			floor = sv
 		}
-		if old, vt, ok := em.oldValue(addr, floor); ok {
+		if em.armFloor > floor {
+			floor = em.armFloor
+		}
+		if old, vt, ok := em.oldValue(idx, floor); ok {
 			val = old
-			t.seen[addr] = vt
+			t.seen = t.seen.set(idx, vt)
 			t.Log = append(t.Log, ReorderRecord{Kind: ReorderVersionedLoad, Instr: instr, Addr: addr, Val: val})
 			em.n.VersionedLoads++
 		} else {
 			val = em.Mem.Read(addr)
-			t.seen[addr] = em.latestTime(addr)
+			t.seen = t.seen.set(idx, em.latestTime(idx))
 		}
 	default:
 		val = em.Mem.Read(addr)
-		t.seen[addr] = em.latestTime(addr)
+		if em.trackHistory {
+			idx := em.addrOf(addr)
+			t.seen = t.seen.set(idx, em.latestTime(idx))
+		}
 	}
 	if atom.ActsAsLoadBarrier() {
 		// READ_ONCE / atomic / acquire load: subsequent loads must not
@@ -458,9 +775,6 @@ func (t *Thread) Flush() {
 		t.em.commit(t, p.addr, p.val)
 	}
 	t.sb = t.sb[:0]
-	for a := range t.sbIndex {
-		delete(t.sbIndex, a)
-	}
 }
 
 // PendingStores returns the number of in-flight delayed stores.
@@ -469,8 +783,10 @@ func (t *Thread) PendingStores() int { return len(t.sb) }
 // PendingAt reports whether a delayed store to addr is in flight and, if so,
 // its held value.
 func (t *Thread) PendingAt(addr trace.Addr) (uint64, bool) {
-	if idx, ok := t.sbIndex[addr]; ok {
-		return t.sb[idx].val, true
+	for i := range t.sb {
+		if t.sb[i].addr == addr {
+			return t.sb[i].val, true
+		}
 	}
 	return 0, false
 }
@@ -478,15 +794,22 @@ func (t *Thread) PendingAt(addr trace.Addr) (uint64, bool) {
 // WindowStart returns the current versioning-window start t_rmb.
 func (t *Thread) WindowStart() uint64 { return t.tRmb }
 
-func (t *Thread) forwarded(addr trace.Addr) bool {
-	_, ok := t.sbIndex[addr]
-	return ok
+// forwardedVal reports whether a delayed store to addr is in flight,
+// storing its held value through val.
+func (t *Thread) forwardedVal(addr trace.Addr, val *uint64) bool {
+	for i := range t.sb {
+		if t.sb[i].addr == addr {
+			*val = t.sb[i].val
+			return true
+		}
+	}
+	return false
 }
 
-// ResetDirectives clears the reordering plan and the log, keeping buffered
-// state (used between system calls of one input).
+// ResetDirectives clears the reordering plan and the log in place, keeping
+// buffered state (used between system calls of one input).
 func (t *Thread) ResetDirectives() {
-	t.Dir = NewDirectives()
+	t.Dir.reset()
 	t.Log = t.Log[:0]
 }
 

@@ -338,10 +338,10 @@ func TestDelayedStoresFlushInOrder(t *testing.T) {
 	a.Store(2, addrY, 2, trace.Plain)
 	a.Flush()
 	// History order: X then Y.
-	hx := em.history[addrX]
-	hy := em.history[addrY]
-	if len(hx) != 1 || len(hy) != 1 || !(hx[0].time < hy[0].time) {
-		t.Fatalf("flush order violated: X@%d Y@%d", hx[0].time, hy[0].time)
+	hx := &em.hist[em.addrIndex[addrX]]
+	hy := &em.hist[em.addrIndex[addrY]]
+	if hx.n != 1 || hy.n != 1 || !(hx.at(0).time < hy.at(0).time) {
+		t.Fatalf("flush order violated: X@%d Y@%d", hx.at(0).time, hy.at(0).time)
 	}
 }
 

@@ -72,7 +72,16 @@ type Task struct {
 // it, so an executor runs multiple sessions in sequence over the same
 // kernel (e.g. sequential prefix calls, then the concurrent pair).
 type Session struct {
-	policy   Policy
+	policy Policy
+	// seq and bp are the devirtualized fast paths for the two policies on
+	// the execution hot path, resolved once at construction: Sequential
+	// never switches (Yield returns immediately), and a *Breakpoint is
+	// called through its concrete type. Every instrumented memory access
+	// passes through Yield, so the per-access interface dispatch is worth
+	// eliminating.
+	seq bool
+	bp  *Breakpoint
+
 	tasks    []*Task
 	byID     map[int]*Task
 	bodies   map[int]func(*Task)
@@ -102,12 +111,19 @@ type Policy interface {
 
 // NewSession creates a session with the given policy.
 func NewSession(policy Policy) *Session {
-	return &Session{
+	s := &Session{
 		policy:   policy,
 		byID:     make(map[int]*Task),
 		bodies:   make(map[int]func(*Task)),
 		driverCh: make(chan struct{}),
 	}
+	switch p := policy.(type) {
+	case Sequential:
+		s.seq = true
+	case *Breakpoint:
+		s.bp = p
+	}
+	return s
 }
 
 // Spawn registers a task. Spawning is allowed both before Run and from a
@@ -241,6 +257,10 @@ func (t *Task) Yield(instr trace.InstrID) {
 	if s.aborting {
 		panic(abortUnwind{})
 	}
+	// Sequential sessions never switch and never arm: done.
+	if s.seq && t.armedSwitch < 0 {
+		return
+	}
 	// A pending "switch after previous instruction" fires first.
 	if t.armedSwitch >= 0 {
 		target := s.byID[t.armedSwitch]
@@ -250,7 +270,13 @@ func (t *Task) Yield(instr trace.InstrID) {
 			return
 		}
 	}
-	id, doSwitch := s.policy.OnYield(t, instr)
+	var id int
+	var doSwitch bool
+	if s.bp != nil {
+		id, doSwitch = s.bp.OnYield(t, instr)
+	} else {
+		id, doSwitch = s.policy.OnYield(t, instr)
+	}
 	if !doSwitch {
 		return
 	}
