@@ -1,15 +1,17 @@
-// Command litmus is the LKMM compliance and differential-testing front
-// end. It replays the named litmus suite (internal/lkmm.Suite) through
-// BOTH engines — OEMU driven in-vivo (internal/lkmm) and the executable
-// reference model (internal/lkmm/model) — asserting exact outcome-set
-// equality plus the per-entry allowed/forbidden verdicts, and optionally
-// cross-checks N property-based-generated random shapes (-gen) with
-// deterministic seed replay (-seed) and shrinking to a minimal
-// counterexample. Any divergence or verdict violation exits nonzero.
+// Command litmus is the memory-model compliance and differential-testing
+// front end. It replays the named litmus suite (internal/lkmm.Suite)
+// through BOTH engines — OEMU driven in-vivo (internal/lkmm) and the
+// executable reference enumerator (internal/lkmm/model) — under one
+// memory model selected by -model (lkmm, tso, armv8), asserting exact
+// outcome-set equality plus the per-entry allowed/forbidden verdicts for
+// that model, and optionally cross-checks N property-based-generated
+// random shapes (-gen) with deterministic seed replay (-seed) and
+// shrinking to a minimal counterexample. Any divergence or verdict
+// violation exits nonzero.
 //
 // Usage:
 //
-//	litmus [-json] [-gen N] [-seed S] [-v]
+//	litmus [-model lkmm|tso|armv8] [-json] [-gen N] [-seed S] [-v]
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"os"
 
 	"ozz/internal/lkmm/diff"
+	"ozz/internal/memmodel"
 )
 
 // suiteReport is the JSON record for one named suite entry.
@@ -54,6 +57,7 @@ type genFailure struct {
 
 // report is the top-level JSON document.
 type report struct {
+	Model string        `json:"model"`
 	Suite []suiteReport `json:"suite"`
 	Gen   *genReport    `json:"gen,omitempty"`
 	OK    bool          `json:"ok"`
@@ -71,12 +75,19 @@ func run(args []string, stdout io.Writer) int {
 	gen := fs.Int("gen", 0, "cross-check N generated random shapes after the suite")
 	seed := fs.Uint64("seed", 1, "generation seed; failures replay from (seed, index)")
 	verbose := fs.Bool("v", false, "print per-entry state-space sizes")
+	modelName := fs.String("model", "lkmm",
+		fmt.Sprintf("memory model to check under %v", memmodel.Names()))
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	mm, err := memmodel.ByName(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
-	rep := report{OK: true}
-	for _, r := range diff.CheckSuite() {
+	rep := report{Model: mm.Name(), OK: true}
+	for _, r := range diff.CheckSuiteModel(mm) {
 		sr := suiteReport{
 			Name:        r.Entry.Test.Name,
 			Comment:     r.Entry.Comment,
@@ -100,7 +111,7 @@ func run(args []string, stdout io.Writer) int {
 	}
 	if *gen > 0 {
 		g := &genReport{Seed: *seed, Shapes: *gen}
-		for _, f := range diff.CrossCheck(*seed, *gen) {
+		for _, f := range diff.CrossCheckModel(*seed, *gen, mm) {
 			g.Divergences = append(g.Divergences, genFailure{
 				Index:     f.Index,
 				Shape:     diff.Format(f.Div.Test),
@@ -158,6 +169,6 @@ func renderText(w io.Writer, rep *report, verbose bool) {
 		}
 	}
 	if rep.OK {
-		fmt.Fprintln(w, "\nall litmus shapes agree between OEMU and the reference model")
+		fmt.Fprintf(w, "\nall litmus shapes agree between OEMU and the reference model under %s\n", rep.Model)
 	}
 }

@@ -6,30 +6,46 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"ozz/internal/memmodel"
 )
 
-// TestJSONGolden pins the -json report shape. Both engines are
-// deterministic (sorted outcome sets, fixed enumeration sizes, seeded
-// generation), so the full document is byte-stable. Refresh with
-// OZZ_UPDATE_GOLDEN=1 after an intentional suite or format change.
+// TestJSONGolden pins the -json report shape, once per registered memory
+// model. Both engines are deterministic (sorted outcome sets, fixed
+// enumeration sizes, seeded generation), so each document is byte-stable.
+// Refresh with OZZ_UPDATE_GOLDEN=1 after an intentional suite, model, or
+// format change.
 func TestJSONGolden(t *testing.T) {
+	for _, model := range memmodel.Names() {
+		t.Run(model, func(t *testing.T) {
+			var buf bytes.Buffer
+			if code := run([]string{"-model", model, "-json", "-gen", "25", "-seed", "1"}, &buf); code != 0 {
+				t.Fatalf("litmus exited %d:\n%s", code, buf.String())
+			}
+			golden := filepath.Join("testdata", "report."+model+".golden.json")
+			if os.Getenv("OZZ_UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with OZZ_UPDATE_GOLDEN=1 to create)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("JSON report drifted from golden (OZZ_UPDATE_GOLDEN=1 to refresh)\ngot:\n%s\nwant:\n%s",
+					buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestModelFlagRejectsUnknown: an unregistered model name is a usage
+// error (exit 2), not a divergence.
+func TestModelFlagRejectsUnknown(t *testing.T) {
 	var buf bytes.Buffer
-	if code := run([]string{"-json", "-gen", "25", "-seed", "1"}, &buf); code != 0 {
-		t.Fatalf("litmus exited %d:\n%s", code, buf.String())
-	}
-	golden := filepath.Join("testdata", "report.golden.json")
-	if os.Getenv("OZZ_UPDATE_GOLDEN") != "" {
-		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	want, err := os.ReadFile(golden)
-	if err != nil {
-		t.Fatalf("%v (run with OZZ_UPDATE_GOLDEN=1 to create)", err)
-	}
-	if !bytes.Equal(buf.Bytes(), want) {
-		t.Fatalf("JSON report drifted from golden (OZZ_UPDATE_GOLDEN=1 to refresh)\ngot:\n%s\nwant:\n%s",
-			buf.Bytes(), want)
+	if code := run([]string{"-model", "power"}, &buf); code != 2 {
+		t.Fatalf("unknown model exited %d, want 2", code)
 	}
 }
 

@@ -54,6 +54,7 @@ import (
 
 	"ozz/internal/core"
 	"ozz/internal/dist"
+	"ozz/internal/memmodel"
 	"ozz/internal/modules"
 	"ozz/internal/obs"
 	"ozz/internal/report"
@@ -71,6 +72,7 @@ func main() {
 		list      = flag.Bool("list", false, "list modules and bug switches, then exit")
 		corpusIn  = flag.String("corpus-in", "", "file with a previously exported corpus to resume from")
 		corpusOut = flag.String("corpus-out", "", "file to export the coverage corpus to at exit")
+		model     = flag.String("model", "lkmm", "memory model OEMU emulates: "+strings.Join(memmodel.Names(), ", "))
 
 		duration    = flag.Duration("duration", 0, "wall-clock campaign budget; when > 0 it replaces -steps")
 		metricsAddr = flag.String("metrics-addr", "", `serve /metrics and /debug/pprof/ on this address (e.g. "127.0.0.1:9911"; ":0" picks a free port)`)
@@ -115,6 +117,12 @@ func main() {
 	}
 	bugSet := modules.Bugs(bugNames...)
 
+	mm, err := memmodel.ByName(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	// Observability plumbing: one registry and one event log for the whole
 	// campaign, wired into the Pool via its Config. Both are purely
 	// observational — enabling them never changes campaign results.
@@ -151,13 +159,14 @@ func main() {
 		runStandalone(ctx, standaloneConfig{
 			modList: modList, bugSet: bugSet, seed: *seed, workers: *workers,
 			steps: *steps, duration: *duration, verbose: *v,
-			corpusIn: *corpusIn, corpusOut: *corpusOut,
+			corpusIn: *corpusIn, corpusOut: *corpusOut, model: mm,
 			reg: reg, events: events,
 		})
 	case "manager":
 		runManager(ctx, dist.ManagerConfig{
 			Campaign: dist.CampaignSpec{
 				Modules: modList, Bugs: bugNames, UseSeeds: true,
+				Model: mm.Name(),
 			},
 			TotalSteps: *steps, ShardSteps: *shardSteps, Seed: *seed,
 			LeaseTTL: *leaseTTL, HeartbeatEvery: *heartbeat,
@@ -200,6 +209,7 @@ type standaloneConfig struct {
 	verbose   bool
 	corpusIn  string
 	corpusOut string
+	model     *memmodel.Table
 	reg       *obs.Registry
 	events    *obs.EventLog
 }
@@ -217,6 +227,7 @@ func runStandalone(ctx context.Context, cfg standaloneConfig) {
 		Bugs:     cfg.bugSet,
 		Seed:     cfg.seed,
 		UseSeeds: true,
+		Model:    cfg.model,
 		Obs:      cfg.reg,
 		Events:   cfg.events,
 	}, cfg.workers)

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"ozz/internal/kmem"
+	"ozz/internal/memmodel"
 	"ozz/internal/oemu"
 	"ozz/internal/sched"
 	"ozz/internal/trace"
@@ -30,6 +31,7 @@ func Micros() []Micro {
 		{"oemu_step", MicroOEMUStep},
 		{"oemu_commit_tracked", MicroOEMUCommitTracked},
 		{"oemu_delay_flush", MicroOEMUDelayFlush},
+		{"model_dispatch", MicroModelDispatch},
 		{"sched_yield", MicroSchedYield},
 		{"sched_switch", MicroSchedSwitch},
 		{"kmem_check", MicroKmemCheck},
@@ -92,6 +94,26 @@ func MicroOEMUDelayFlush(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t.Store(1, base, uint64(i), trace.Plain)
 		t.Flush()
+		t.Log = t.Log[:0]
+	}
+}
+
+// MicroModelDispatch measures the cost of the memory-model parameterized
+// hot path under a non-default model: a delayed store, a barrier whose
+// store-ordering semantics come from the compiled model table, and a
+// plain load, all under x86-TSO. Guards the table-lookup dispatch design
+// against regressing into interface calls or allocations.
+func MicroModelDispatch(b *testing.B) {
+	em, ths, base := microEnv(1)
+	em.SetModel(memmodel.TSO)
+	t := ths[0]
+	t.Dir.DelayStoreAt(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Store(1, base, uint64(i), trace.Plain)
+		t.Barrier(trace.BarrierFull)
+		_ = t.Load(2, base, trace.Plain)
 		t.Log = t.Log[:0]
 	}
 }

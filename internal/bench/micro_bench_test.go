@@ -9,6 +9,7 @@ import "testing"
 func BenchmarkMicroOEMUStep(b *testing.B)          { MicroOEMUStep(b) }
 func BenchmarkMicroOEMUCommitTracked(b *testing.B) { MicroOEMUCommitTracked(b) }
 func BenchmarkMicroOEMUDelayFlush(b *testing.B)    { MicroOEMUDelayFlush(b) }
+func BenchmarkMicroModelDispatch(b *testing.B)     { MicroModelDispatch(b) }
 func BenchmarkMicroSchedYield(b *testing.B)        { MicroSchedYield(b) }
 func BenchmarkMicroSchedSwitch(b *testing.B)       { MicroSchedSwitch(b) }
 func BenchmarkMicroKmemCheck(b *testing.B)         { MicroKmemCheck(b) }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"ozz/internal/engine"
+	"ozz/internal/memmodel"
 	"ozz/internal/modules"
 	"ozz/internal/obs"
 	"ozz/internal/syzlang"
@@ -41,6 +42,12 @@ type Env struct {
 	// OZZ's custom scheduler must suspend vCPUs WITHOUT delivering
 	// interrupts (interrupts drain the virtual store buffer, §3.1).
 	InterruptOnSwitch bool
+	// Model is the memory model OEMU emulates (nil = memmodel.LKMM).
+	// STI profiles are model-independent (no directives, in-order
+	// execution), but hint generation and MTI directive plans are
+	// model-relative — the fuzzer must pair this Env with
+	// hints.CalculateModel over the same model.
+	Model *memmodel.Table
 
 	eng *engine.Engine
 }
@@ -74,6 +81,7 @@ func (e *Env) config() engine.Config {
 		NrCPU:             e.NrCPU,
 		Instrumented:      e.Instrumented,
 		InterruptOnSwitch: e.InterruptOnSwitch,
+		Model:             e.Model,
 	}
 }
 
@@ -121,6 +129,16 @@ func (e *Env) RunSTICached(p *syzlang.Program) *STIResult {
 // hint's OEMU directives installed (Fig. 5).
 func (e *Env) RunMTI(o MTIOpts) *MTIResult {
 	return e.eng.Run(e.config(), engine.OOO{}, o)
+}
+
+// RunMTIUnder is RunMTI with the environment's memory model overridden
+// for this one execution — the fuzzer's cross-model probe re-runs a
+// crashing MTI under every other registered model to report which of
+// them can reach the reordering ("reorders under: lkmm, armv8").
+func (e *Env) RunMTIUnder(o MTIOpts, mm *memmodel.Table) *MTIResult {
+	cfg := e.config()
+	cfg.Model = mm
+	return e.eng.Run(cfg, engine.OOO{}, o)
 }
 
 // PairName renders a concurrent pair for reports.

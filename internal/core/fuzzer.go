@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"ozz/internal/hints"
+	"ozz/internal/memmodel"
 	"ozz/internal/modules"
 	"ozz/internal/obs"
 	"ozz/internal/report"
@@ -40,6 +42,11 @@ type Config struct {
 	// InterruptOnSwitch forwards to Env (the interrupt-injection
 	// ablation).
 	InterruptOnSwitch bool
+	// Model is the memory model the campaign emulates (nil = LKMM).
+	// Hints, directive plans, and triage all run under it; new OOO
+	// findings are additionally probed under every other registered
+	// model to fill the report's "reorders under" line.
+	Model *memmodel.Table
 	// Obs, when non-nil, is the metrics registry the campaign and its
 	// engine publish into; nil gives the campaign a fresh private
 	// registry (retrieve it with Obs()). Sharing one registry across
@@ -66,6 +73,9 @@ func (c *Config) normalize() {
 	if c.MaxPairs == 0 {
 		c.MaxPairs = 8
 	}
+	if c.Model == nil {
+		c.Model = memmodel.LKMM
+	}
 }
 
 // newEnvFromConfig builds the execution environment both campaign
@@ -74,6 +84,7 @@ func newEnvFromConfig(cfg Config) *Env {
 	env := NewEnvObs(cfg.Modules, cfg.Bugs, cfg.Obs)
 	env.NrCPU = cfg.NrCPU
 	env.InterruptOnSwitch = cfg.InterruptOnSwitch
+	env.Model = cfg.Model
 	return env
 }
 
@@ -312,7 +323,7 @@ func (f *Fuzzer) Step() []*report.Report {
 			continue
 		}
 		hStart := time.Now()
-		hs := hints.Calculate(sti.CallEvents[i], sti.CallEvents[j])
+		hs := hints.CalculateModel(sti.CallEvents[i], sti.CallEvents[j], f.cfg.Model)
 		observe(f.co.stHints, hStart)
 		f.Stats.Hints += uint64(len(hs))
 		f.co.hintsTotal.Add(uint64(len(hs)))
@@ -375,6 +386,11 @@ func (f *Fuzzer) harvest(p *syzlang.Program, i, j int, h *hints.Hint, rank int, 
 			r.Pair = PairName(p, i, j)
 			r.HintRank = rank + 1
 			r.Tests = int(f.Stats.MTIs)
+			if f.Reports.Get(r.Title) == nil {
+				r.Models = f.probeModels(p, i, j, h, func(pr *MTIResult) bool {
+					return pr.Crash != nil && pr.Crash.Title == r.Title
+				})
+			}
 		}
 		add(r)
 	}
@@ -388,9 +404,52 @@ func (f *Fuzzer) harvest(p *syzlang.Program, i, j int, h *hints.Hint, rank int, 
 			HintRank:   rank + 1,
 			Tests:      int(f.Stats.MTIs),
 		}
+		if f.Reports.Get(r.Title) == nil {
+			r.Models = f.probeModels(p, i, j, h, func(pr *MTIResult) bool {
+				for _, ps := range pr.Soft {
+					if ps == s {
+						return true
+					}
+				}
+				return false
+			})
+		}
 		add(r)
 	}
 	return found
+}
+
+// probeModels is the serial fuzzer's cross-model probe; the divergence
+// counter is incremented here because the caller guards on the title
+// being globally new.
+func (f *Fuzzer) probeModels(p *syzlang.Program, i, j int, h *hints.Hint, reproduced func(*MTIResult) bool) []string {
+	models := probeModels(f.env, f.cfg.Model, p, i, j, h, reproduced)
+	if len(models) < len(memmodel.All()) {
+		f.co.modelDivergences.Inc()
+	}
+	return models
+}
+
+// probeModels is the cross-model probe: it re-runs a newly-found OOO
+// bug's MTI under every OTHER registered memory model and returns the
+// sorted names of the models under which the finding reproduces — the
+// report's "reorders under" line. The campaign's own model is included
+// without a re-run (the finding just reproduced under it). Probe runs
+// are observation only: they touch neither the deterministic Stats
+// counters nor the coverage corpus, so campaign goldens are unaffected.
+// Safe to call concurrently (pool workers probe job-side).
+func probeModels(env *Env, base *memmodel.Table, p *syzlang.Program, i, j int, h *hints.Hint, reproduced func(*MTIResult) bool) []string {
+	models := []string{base.Name()}
+	for _, mm := range memmodel.All() {
+		if mm == base {
+			continue
+		}
+		if reproduced(env.RunMTIUnder(MTIOpts{Prog: p, I: i, J: j, Hint: h}, mm)) {
+			models = append(models, mm.Name())
+		}
+	}
+	sort.Strings(models)
+	return models
 }
 
 // Run executes steps until the budget is exhausted, returning all new

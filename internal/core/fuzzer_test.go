@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"ozz/internal/modules"
@@ -60,5 +61,44 @@ func TestFuzzerWithoutSeeds(t *testing.T) {
 	r := f.RunUntil("BUG: unable to handle kernel NULL pointer dereference in pipe_read", 300)
 	if r == nil {
 		t.Fatalf("fuzzer did not find the bug from templates alone (stats %+v)", f.Stats)
+	}
+}
+
+// TestCrossModelProbe pins the probe's per-model verdict on the Fig. 1
+// bug: an S-S reordering reproduces under the weak models (lkmm, armv8)
+// but never under tso, whose FIFO store buffer drains older pending
+// stores before a later one commits. Covers both campaign executors —
+// the serial fuzzer and the pool mirror the same probe.
+func TestCrossModelProbe(t *testing.T) {
+	const title = "BUG: unable to handle kernel NULL pointer dereference in pipe_read"
+	want := []string{"armv8", "lkmm"}
+
+	f := NewFuzzer(Config{
+		Modules:  []string{"watchqueue"},
+		Bugs:     modules.Bugs("watchqueue:pipe_wmb"),
+		Seed:     1,
+		UseSeeds: true,
+	})
+	r := f.RunUntil(title, 50)
+	if r == nil {
+		t.Fatal("serial fuzzer did not find the Fig. 1 bug in 50 steps")
+	}
+	if !reflect.DeepEqual(r.Models, want) {
+		t.Errorf("serial probe: Models = %v, want %v", r.Models, want)
+	}
+
+	p := NewPool(Config{
+		Modules:  []string{"watchqueue"},
+		Bugs:     modules.Bugs("watchqueue:pipe_wmb"),
+		Seed:     1,
+		UseSeeds: true,
+	}, 2)
+	p.Run(50)
+	pr := p.Reports.Get(title)
+	if pr == nil {
+		t.Fatal("pool did not find the Fig. 1 bug in 50 steps")
+	}
+	if !reflect.DeepEqual(pr.Models, want) {
+		t.Errorf("pool probe: Models = %v, want %v", pr.Models, want)
 	}
 }

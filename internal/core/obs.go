@@ -26,6 +26,7 @@ type campaignObs struct {
 	steps, stis, mtis, hintsTotal, vacuous, newCov *obs.Counter
 	covEdges, corpusLen, workers                   *obs.Gauge
 	reportsNew, reportsDup, reportsOOO             *obs.Counter
+	modelDivergences                               *obs.Counter
 
 	// stage histogram children, indexed like stageNames.
 	stGenerate, stProfile, stHints, stMTI, stTriage, stMerge *obs.Histogram
@@ -61,6 +62,8 @@ func newCampaignObs(reg *obs.Registry, ev *obs.EventLog) *campaignObs {
 	c.reportsDup = outcomes.With("duplicate")
 	c.reportsOOO = reg.Counter("ozz_reports_ooo_total",
 		"New reports classified as genuine out-of-order bugs by the triage re-run.")
+	c.modelDivergences = reg.Counter("ozz_model_divergences_total",
+		"New OOO findings whose cross-model probe reproduced them under only a strict subset of the registered memory models.")
 
 	stages := reg.HistogramVec("ozz_stage_duration_seconds",
 		"Wall-clock duration of one pipeline stage execution, seconds.",

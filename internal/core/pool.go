@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ozz/internal/hints"
+	"ozz/internal/memmodel"
 	"ozz/internal/modules"
 	"ozz/internal/obs"
 	"ozz/internal/report"
@@ -434,7 +435,7 @@ func (p *Pool) runJob(jb job, wid int) jobResult {
 			continue
 		}
 		hStart := time.Now()
-		hs := hints.Calculate(sti.CallEvents[i], sti.CallEvents[j])
+		hs := hints.CalculateModel(sti.CallEvents[i], sti.CallEvents[j], p.cfg.Model)
 		observe(p.co.stHints, hStart)
 		res.hints += uint64(len(hs))
 		orderHints(hs, p.cfg.HintOrder, jb.rng)
@@ -492,11 +493,22 @@ func (p *Pool) harvestJob(res *jobResult, prog *syzlang.Program, i, j int, h *hi
 			r.Pair = PairName(prog, i, j)
 			r.HintRank = rank + 1
 			r.Tests = int(res.mtis)
+			// Cross-model probe, job-side so the runs parallelize with the
+			// rest of the batch and Models is populated before the report is
+			// ever published. The Get is a cheap filter against re-probing a
+			// title an earlier batch already merged; duplicates racing within
+			// one in-flight batch probe redundantly (same deterministic
+			// result), and only the merge-ordered first instance survives.
+			if p.Reports.Get(r.Title) == nil {
+				r.Models = probeModels(p.env, p.cfg.Model, prog, i, j, h, func(pr *MTIResult) bool {
+					return pr.Crash != nil && pr.Crash.Title == r.Title
+				})
+			}
 		}
 		res.reports = append(res.reports, jobReport{r: r, rebaseTests: r.OOO})
 	}
 	for _, s := range mres.Soft {
-		res.reports = append(res.reports, jobReport{r: &report.Report{
+		r := &report.Report{
 			Title: s, Oracle: "semantic", OOO: true,
 			Type:       h.Type(),
 			HypBarrier: fmt.Sprintf("before %s (%s)", modules.SiteName(h.Sched), h.Test),
@@ -504,7 +516,18 @@ func (p *Pool) harvestJob(res *jobResult, prog *syzlang.Program, i, j int, h *hi
 			Program:    prog.String(),
 			HintRank:   rank + 1,
 			Tests:      int(res.mtis),
-		}, rebaseTests: true})
+		}
+		if p.Reports.Get(r.Title) == nil {
+			r.Models = probeModels(p.env, p.cfg.Model, prog, i, j, h, func(pr *MTIResult) bool {
+				for _, ps := range pr.Soft {
+					if ps == s {
+						return true
+					}
+				}
+				return false
+			})
+		}
+		res.reports = append(res.reports, jobReport{r: r, rebaseTests: true})
 	}
 }
 
@@ -539,6 +562,12 @@ func (p *Pool) merge(res *jobResult, stiNew int, found *[]*report.Report) {
 		added := p.Reports.Add(jr.r)
 		p.co.reportOutcome(added, jr.r.OOO)
 		if added {
+			// Counting divergences here, not at probe time, keeps the
+			// counter exact: a title probed redundantly by racing in-batch
+			// duplicates still increments once, for the merged instance.
+			if len(jr.r.Models) > 0 && len(jr.r.Models) < len(memmodel.All()) {
+				p.co.modelDivergences.Inc()
+			}
 			*found = append(*found, jr.r)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ozz/internal/core"
+	"ozz/internal/memmodel"
 	"ozz/internal/modules"
 	"ozz/internal/obs"
 	"ozz/internal/report"
@@ -67,6 +68,13 @@ func Shards(seed int64, totalSteps, shardSteps int) []Shard {
 
 // coreConfig reconstructs the core campaign configuration for one shard.
 func coreConfig(spec CampaignSpec, seed int64, reg *obs.Registry, ev *obs.EventLog) core.Config {
+	// An empty or unknown model name falls back to LKMM rather than
+	// failing the shard: a mixed fleet where one side predates a model
+	// should degrade to the default, not wedge the campaign.
+	mm, err := memmodel.ByName(spec.Model)
+	if spec.Model == "" || err != nil {
+		mm = memmodel.LKMM
+	}
 	return core.Config{
 		Modules:         spec.Modules,
 		Bugs:            modules.Bugs(spec.Bugs...),
@@ -76,6 +84,7 @@ func coreConfig(spec CampaignSpec, seed int64, reg *obs.Registry, ev *obs.EventL
 		MaxPairs:        spec.MaxPairs,
 		UseSeeds:        spec.UseSeeds,
 		HintOrder:       spec.HintOrder,
+		Model:           mm,
 		Obs:             reg,
 		Events:          ev,
 	}

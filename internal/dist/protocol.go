@@ -69,6 +69,11 @@ type CampaignSpec struct {
 	UseSeeds bool `json:"use_seeds,omitempty"`
 	// HintOrder selects the hint execution order ("heuristic" default).
 	HintOrder string `json:"hint_order,omitempty"`
+	// Model names the memory model OEMU emulates on every worker
+	// ("lkmm", "tso", "armv8"; empty = lkmm). Shipping the name rather
+	// than the table keeps the protocol dependency-free; workers resolve
+	// it against their local memmodel registry.
+	Model string `json:"model,omitempty"`
 }
 
 // Lease is one granted work unit: a deterministic campaign shard plus the

@@ -1,6 +1,9 @@
 package engine
 
-import "ozz/internal/modules"
+import (
+	"ozz/internal/memmodel"
+	"ozz/internal/modules"
+)
 
 // DefaultNrCPU is the simulated CPU count every path defaults to — the
 // paper's 4-vCPU test VMs.
@@ -31,6 +34,12 @@ type Config struct {
 	// — the ablation demonstrating why OZZ's custom scheduler must
 	// suspend vCPUs WITHOUT delivering interrupts.
 	InterruptOnSwitch bool
+	// Model is the memory model OEMU emulates for the run; nil selects
+	// memmodel.LKMM (the paper's default). Directive plans are
+	// model-specific (the engine's plan cache keys on the model name),
+	// and hint generation for the run's profiles must use the same model
+	// (hints.CalculateModel).
+	Model *memmodel.Table
 }
 
 // normalize resolves defaulted fields. It is the single home of the
@@ -39,5 +48,8 @@ type Config struct {
 func (c *Config) normalize() {
 	if c.NrCPU == 0 {
 		c.NrCPU = DefaultNrCPU
+	}
+	if c.Model == nil {
+		c.Model = memmodel.LKMM
 	}
 }

@@ -141,6 +141,10 @@ func (e *Engine) run(cfg Config, s Strategy, req Request, build buildFunc) *Resu
 	cfg.normalize()
 	start := time.Now()
 	k := e.acquire(&cfg)
+	// The model must be installed before Attach (OOO's history-tracking
+	// decision reads it) and before any task executes an access. Reset
+	// restored the recycled emulator to LKMM; this is the one switch point.
+	k.Em.SetModel(cfg.Model)
 	// Engine runs record OEMU store history only when they can consume it:
 	// versioned loads exist solely in load-barrier MTIs, and the OOO
 	// strategy's Attach turns tracking back on for those (from clock 0, so
@@ -168,7 +172,7 @@ func (e *Engine) run(cfg Config, s Strategy, req Request, build buildFunc) *Resu
 	}
 	// Publication is observation only: counters and wall-clock timings,
 	// never anything a deterministic execution depends on.
-	e.m.publishRun(s.Name(), shape, time.Since(start), res, k.Em.Counters())
+	e.m.publishRun(s.Name(), shape, cfg.Model.Name(), time.Since(start), res, k.Em.Counters())
 	e.release(k)
 	return res
 }
@@ -398,7 +402,7 @@ func (e *Engine) runPair(k *kernel.Kernel, impls map[string]modules.Impl, cfg *C
 	taskA := k.NewTask(1)
 	taskB := k.NewTask(2)
 	if plan.Reorder != nil {
-		taskA.OEMU().InstallPlan(e.plans.plan(p, plan.Reorder))
+		taskA.OEMU().InstallPlan(e.plans.plan(p, plan.Reorder, cfg.Model))
 	}
 	if plan.Arm != nil {
 		plan.Arm(taskA, taskB)

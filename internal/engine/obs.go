@@ -3,6 +3,7 @@ package engine
 import (
 	"time"
 
+	"ozz/internal/memmodel"
 	"ozz/internal/obs"
 	"ozz/internal/oemu"
 	"ozz/internal/sched"
@@ -33,6 +34,7 @@ type metrics struct {
 	crashes       *obs.CounterVec
 	deadlocks     *obs.CounterVec
 	prefixCrashes *obs.Counter
+	modelRuns     *obs.CounterVec
 
 	mtiPairs    *obs.Counter
 	mtiFired    *obs.Counter
@@ -90,6 +92,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 	}
 	m.prefixCrashes = reg.Counter("ozz_engine_prefix_crashes_total",
 		"Pair runs aborted during the sequential prefix (non-OOO crash; concurrent stage never ran).")
+
+	m.modelRuns = reg.CounterVec("ozz_model_runs_total",
+		"Engine executions by the memory model OEMU emulated for the run.", "model")
+	for _, name := range memmodel.Names() {
+		m.modelRuns.With(name)
+	}
 
 	m.mtiPairs = reg.Counter("ozz_mti_pairs_total",
 		"Concurrent-pair (MTI) stages executed across all strategies.")
@@ -162,9 +170,10 @@ func (m *metrics) observeSession(s *sched.Session) {
 // publishRun records one finished execution: run/crash counters by
 // strategy and shape, MTI outcome counters, and the kernel's OEMU
 // activity tally for the run.
-func (m *metrics) publishRun(strategy, shape string, d time.Duration, res *Result, oc oemu.Counters) {
+func (m *metrics) publishRun(strategy, shape, model string, d time.Duration, res *Result, oc oemu.Counters) {
 	m.runs.With(strategy, shape).Inc()
 	m.runDur.With(strategy).Observe(d.Seconds())
+	m.modelRuns.With(model).Inc()
 	if res.Crash != nil {
 		m.crashes.With(strategy).Inc()
 	}

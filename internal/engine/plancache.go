@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"ozz/internal/hints"
+	"ozz/internal/memmodel"
 	"ozz/internal/obs"
 	"ozz/internal/oemu"
 	"ozz/internal/syzlang"
@@ -35,11 +36,15 @@ type planCache struct {
 	hits, misses *obs.Counter
 }
 
-// plan returns the compiled plan for the spec, compiling and caching it on
-// first sight. Two workers racing one uncached spec both compile (both
-// count a miss); the plans are equivalent, so last-write-wins is fine.
-func (c *planCache) plan(prog *syzlang.Program, spec *ReorderSpec) *oemu.Plan {
-	key := planKey(prog, spec)
+// plan returns the compiled plan for the spec under the given memory
+// model, compiling and caching it on first sight. Plans are
+// model-specific (CompilePlanModel drops sites the model makes inert),
+// so the key includes the model name — one spec run under two models
+// yields two cache entries. Two workers racing one uncached spec both
+// compile (both count a miss); the plans are equivalent, so
+// last-write-wins is fine.
+func (c *planCache) plan(prog *syzlang.Program, spec *ReorderSpec, mm *memmodel.Table) *oemu.Plan {
+	key := planKey(prog, spec, mm)
 	c.mu.RLock()
 	p := c.m[key]
 	c.mu.RUnlock()
@@ -48,7 +53,7 @@ func (c *planCache) plan(prog *syzlang.Program, spec *ReorderSpec) *oemu.Plan {
 		return p
 	}
 	c.misses.Inc()
-	p = compileSpec(spec)
+	p = compileSpec(spec, mm)
 	c.mu.Lock()
 	if c.m == nil || len(c.m) >= planCacheCap {
 		c.m = make(map[string]*oemu.Plan)
@@ -61,25 +66,28 @@ func (c *planCache) plan(prog *syzlang.Program, spec *ReorderSpec) *oemu.Plan {
 // compileSpec maps the spec's test kind onto the directive kind of Table 2:
 // a store-barrier test delays the stores at the sites, a load-barrier test
 // makes the loads at the sites read old values.
-func compileSpec(spec *ReorderSpec) *oemu.Plan {
+func compileSpec(spec *ReorderSpec, mm *memmodel.Table) *oemu.Plan {
 	switch spec.Test {
 	case hints.StoreBarrierTest:
-		return oemu.CompilePlan(spec.Sites, nil)
+		return oemu.CompilePlanModel(spec.Sites, nil, mm)
 	case hints.LoadBarrierTest:
-		return oemu.CompilePlan(nil, spec.Sites)
+		return oemu.CompilePlanModel(nil, spec.Sites, mm)
 	}
-	return oemu.CompilePlan(nil, nil)
+	return oemu.CompilePlanModel(nil, nil, mm)
 }
 
-// planKey builds the cache key: program serialization, test kind byte,
-// then the site list little-endian. Sites come straight from the hint
-// (already deterministic order for a given hint), so byte-identical specs
-// collide exactly.
-func planKey(prog *syzlang.Program, spec *ReorderSpec) string {
+// planKey builds the cache key: program serialization, model name, test
+// kind byte, then the site list little-endian. Sites come straight from
+// the hint (already deterministic order for a given hint), so
+// byte-identical specs collide exactly.
+func planKey(prog *syzlang.Program, spec *ReorderSpec, mm *memmodel.Table) string {
 	var sb strings.Builder
 	pk := prog.Key()
-	sb.Grow(len(pk) + 2 + 8*len(spec.Sites))
+	mn := mm.Name()
+	sb.Grow(len(pk) + len(mn) + 3 + 8*len(spec.Sites))
 	sb.WriteString(pk)
+	sb.WriteByte(0)
+	sb.WriteString(mn)
 	sb.WriteByte(0)
 	sb.WriteByte(byte(spec.Test))
 	for _, s := range spec.Sites {

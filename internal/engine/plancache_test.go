@@ -5,6 +5,7 @@ import (
 
 	"ozz/internal/hints"
 	"ozz/internal/kernel"
+	"ozz/internal/memmodel"
 	"ozz/internal/modules"
 	"ozz/internal/syzlang"
 	"ozz/internal/trace"
@@ -16,8 +17,8 @@ func TestPlanCacheHitMiss(t *testing.T) {
 	e := New()
 	pr := prog("a")
 	spec := &ReorderSpec{Test: hints.StoreBarrierTest, Sites: []trace.InstrID{7, 3}}
-	p1 := e.plans.plan(pr, spec)
-	p2 := e.plans.plan(pr, spec)
+	p1 := e.plans.plan(pr, spec, memmodel.LKMM)
+	p2 := e.plans.plan(pr, spec, memmodel.LKMM)
 	if p1 != p2 {
 		t.Fatal("repeat lookup did not return the cached plan")
 	}
@@ -39,7 +40,7 @@ func TestPlanCacheKeyDiscrimination(t *testing.T) {
 	e := New()
 	base := prog("a")
 	spec := &ReorderSpec{Test: hints.StoreBarrierTest, Sites: []trace.InstrID{5}}
-	p := e.plans.plan(base, spec)
+	p := e.plans.plan(base, spec, memmodel.LKMM)
 
 	variants := []struct {
 		name string
@@ -51,15 +52,20 @@ func TestPlanCacheKeyDiscrimination(t *testing.T) {
 		{"other sites", base, &ReorderSpec{Test: hints.StoreBarrierTest, Sites: []trace.InstrID{6}}},
 	}
 	for _, v := range variants {
-		if got := e.plans.plan(v.prog, v.spec); got == p {
+		if got := e.plans.plan(v.prog, v.spec, memmodel.LKMM); got == p {
 			t.Errorf("%s: lookup returned the unrelated cached plan", v.name)
 		}
 	}
-	if hits, misses := e.PlanCacheCounters(); hits != 0 || misses != 4 {
-		t.Errorf("counters = (%d hits, %d misses), want (0, 4)", hits, misses)
+	// A different memory model is its own cache entry: the same spec under
+	// armv8 must not return the LKMM-compiled plan.
+	if got := e.plans.plan(base, spec, memmodel.ARMv8); got == p {
+		t.Error("other model: lookup returned the LKMM-cached plan")
+	}
+	if hits, misses := e.PlanCacheCounters(); hits != 0 || misses != 5 {
+		t.Errorf("counters = (%d hits, %d misses), want (0, 5)", hits, misses)
 	}
 	// The load-barrier variant must compile into read directives.
-	lp := e.plans.plan(base, variants[1].spec)
+	lp := e.plans.plan(base, variants[1].spec, memmodel.LKMM)
 	if !lp.HasReads() || len(lp.DelaySites()) != 0 {
 		t.Errorf("load-barrier plan shape wrong: reads=%v delays=%v", lp.ReadSites(), lp.DelaySites())
 	}

@@ -91,9 +91,13 @@ func (OOO) Name() string { return "ooo" }
 // versioned load may legitimately observe prefix-era values — so Attach
 // re-enables the tracking the engine disables by default for engine runs.
 // Store-barrier tests and sequential (STI) runs execute no versioned
-// loads and leave it off.
+// loads and leave it off, as do runs under a model with no versionable
+// loads at all (TSO): its read-old directives are inert, so recording
+// history would be pure overhead. The engine installs the run's model
+// before Attach, so the emulator's table is authoritative here.
 func (OOO) Attach(k *kernel.Kernel, req *Request) {
-	if req.Hint != nil && !req.NoReorder && req.Hint.Test == hints.LoadBarrierTest {
+	if req.Hint != nil && !req.NoReorder && req.Hint.Test == hints.LoadBarrierTest &&
+		k.Em.Model().AnyVersionable() {
 		k.Em.SetHistoryTracking(true)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"ozz/internal/memmodel"
 	"ozz/internal/trace"
 )
 
@@ -41,18 +42,37 @@ func (k TestKind) String() string {
 }
 
 // ClosedBy reports whether a barrier of kind b closes a group for this
-// hypothetical-barrier test (Algorithm 1 step 2). It is the preserved-
-// program-order predicate of §10.1 shared with OEMU and the reference
-// model (internal/lkmm/model): store-barrier tests group between the
-// barriers that drain the virtual store buffer (smp_wmb/smp_mb/release —
-// LKMM Cases 1, 2, 5), load-barrier tests between the barriers that pin
-// the versioning window (smp_rmb/smp_mb/acquire and the implicit barrier
-// of an annotated load — Cases 1, 3, 4, 6).
+// hypothetical-barrier test under the default LKMM model (Algorithm 1
+// step 2). It is the preserved-program-order predicate of §10.1 shared
+// with OEMU and the reference model (internal/lkmm/model): store-barrier
+// tests group between the barriers that drain the virtual store buffer
+// (smp_wmb/smp_mb/release — LKMM Cases 1, 2, 5), load-barrier tests
+// between the barriers that pin the versioning window (smp_rmb/smp_mb/
+// acquire and the implicit barrier of an annotated load — Cases 1, 3, 4,
+// 6). Model-relative callers use closedByModel, which also resolves the
+// implicit barrier of an annotated load through the model's per-atomicity
+// table.
 func (k TestKind) ClosedBy(b trace.BarrierKind) bool {
 	if k == StoreBarrierTest {
 		return b.OrdersStores()
 	}
 	return b.OrdersLoads()
+}
+
+// closedByModel is ClosedBy made model-relative, deciding on the full
+// barrier event. The implicit barrier recorded for an annotated load
+// (kernel access path) is re-derived from the model's per-atomicity load
+// semantics: under armv8 a relaxed READ_ONCE does not pin the versioning
+// window, so it must not close load-test groups either — otherwise the
+// hint layer would under-approximate what OEMU can reorder.
+func closedByModel(k TestKind, e *trace.BarrierEvent, mm *memmodel.Table) bool {
+	if k == StoreBarrierTest {
+		return mm.OrdersStores(e.Kind)
+	}
+	if e.Implicit && e.Kind == trace.BarrierLoad && e.Atomic != trace.Plain {
+		return mm.LoadBarrier(e.Atomic)
+	}
+	return mm.OrdersLoads(e.Kind)
 }
 
 // Hint is one scheduling hint (h in Algorithm 1).
@@ -181,13 +201,30 @@ type groupAccess struct {
 // barrier must still be placeable inside the trailing run; the store buffer
 // drains at syscall return, which acts as the closing boundary.
 func Calculate(si, sj []trace.Event) []*Hint {
+	return CalculateModel(si, sj, memmodel.LKMM)
+}
+
+// CalculateModel is Calculate under an explicit memory model. Group
+// closure follows the model's barrier table (closedByModel), and test
+// kinds the model cannot exercise are skipped wholesale: a model with no
+// versionable loads (TSO) yields no load-barrier hints, and a model that
+// preserves store→store order emits store-test hints only where the
+// scheduling point is a load (S-L) — its FIFO buffer makes S-S
+// reorderings unobservable, so those hints would only burn executions.
+func CalculateModel(si, sj []trace.Event, mm *memmodel.Table) []*Hint {
 	fi, fj := FilterOut(si, sj)
 	var hints []*Hint
 	for k, events := range [][]trace.Event{fi, fj} {
 		for _, test := range []TestKind{StoreBarrierTest, LoadBarrierTest} {
-			groups := groupByBarrier(events, test)
+			if test == StoreBarrierTest && !mm.AnyDelayable() {
+				continue
+			}
+			if test == LoadBarrierTest && !mm.AnyVersionable() {
+				continue
+			}
+			groups := groupByBarrier(events, test, mm)
 			for _, g := range groups {
-				hints = append(hints, hintsForGroup(k, test, g)...)
+				hints = append(hints, hintsForGroup(k, test, g, mm)...)
 			}
 		}
 	}
@@ -207,9 +244,9 @@ func Calculate(si, sj []trace.Event) []*Hint {
 
 // groupByBarrier is Step 2 of Algorithm 1: split the call's accesses into
 // groups delimited by the barriers that close groups for the given test
-// kind (TestKind.ClosedBy — store barriers close store-test groups; load
-// barriers close load-test groups; full barriers close both).
-func groupByBarrier(events []trace.Event, test TestKind) [][]groupAccess {
+// kind under the model (closedByModel — store barriers close store-test
+// groups; load barriers close load-test groups; full barriers close both).
+func groupByBarrier(events []trace.Event, test TestKind, mm *memmodel.Table) [][]groupAccess {
 	// occ counts SCHEDULING POINTS per site, not events: the store half
 	// of an RMW shares its scheduling point with the load half (NoYield),
 	// so the breakpoint occurrence for it is the load half's.
@@ -218,7 +255,7 @@ func groupByBarrier(events []trace.Event, test TestKind) [][]groupAccess {
 	var g []groupAccess
 	for _, e := range events {
 		if e.Barrier {
-			if test.ClosedBy(e.Bar.Kind) {
+			if closedByModel(test, &e.Bar, mm) {
 				if len(g) > 0 {
 					groups = append(groups, g)
 				}
@@ -245,7 +282,7 @@ func groupByBarrier(events []trace.Event, test TestKind) [][]groupAccess {
 // and moves upward, shrinking the delayed prefix. For a load test the
 // scheduling point is the group's first load (it reads the updated value,
 // Fig. 5b) and the barrier moves downward, shrinking the versioned suffix.
-func hintsForGroup(reorderer int, test TestKind, g []groupAccess) []*Hint {
+func hintsForGroup(reorderer int, test TestKind, g []groupAccess, mm *memmodel.Table) []*Hint {
 	var out []*Hint
 	emit := func(test TestKind, sched groupAccess, reorder []trace.InstrID) {
 		if len(reorder) == 0 {
@@ -271,6 +308,11 @@ func hintsForGroup(reorderer int, test TestKind, g []groupAccess) []*Hint {
 			return nil
 		}
 		sched := g[len(g)-1]
+		if mm.StoreStoreOrdered() && sched.kind != trace.Load {
+			// FIFO store buffer: earlier stores cannot become visible
+			// after a later store, so an S-S hint can never fire.
+			return nil
+		}
 		// Hypothetical barrier positions: between g[end-1] and the
 		// scheduling access, moving upward.
 		for end := len(g) - 1; end > 0; end-- {

@@ -44,8 +44,11 @@ func (t *Task) load(i trace.InstrID, addr trace.Addr, atom trace.Atomicity) uint
 			// Annotated loads act as a load barrier for subsequent
 			// loads (LKMM Case 4/6; §3.2). Recording the implicit
 			// barrier keeps Algorithm 1's groups consistent with
-			// what OEMU will actually allow at runtime.
-			t.Prof.RecordBarrier(trace.BarrierEvent{Instr: i, Kind: trace.BarrierLoad, Time: t.K.Em.Now(), Implicit: true})
+			// what OEMU will actually allow at runtime. The atomicity
+			// rides along so the hint layer can re-derive the effect
+			// under the active memory model (a relaxed annotated load
+			// is no barrier under armv8).
+			t.Prof.RecordBarrier(trace.BarrierEvent{Instr: i, Kind: trace.BarrierLoad, Time: t.K.Em.Now(), Implicit: true, Atomic: atom})
 		}
 	}
 	return v

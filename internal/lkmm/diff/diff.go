@@ -27,6 +27,7 @@ import (
 
 	"ozz/internal/lkmm"
 	"ozz/internal/lkmm/model"
+	"ozz/internal/memmodel"
 	"ozz/internal/trace"
 )
 
@@ -72,11 +73,17 @@ func (d *Divergence) String() string {
 	return b.String()
 }
 
-// Compare runs the shape through both engines and returns the
-// divergence, or nil when the outcome sets are identical.
-func Compare(t *lkmm.Test) *Divergence {
-	emu := lkmm.Run(t)
-	ref := model.Run(t)
+// Compare runs the shape through both engines under the LKMM and returns
+// the divergence, or nil when the outcome sets are identical.
+func Compare(t *lkmm.Test) *Divergence { return CompareModel(t, memmodel.LKMM) }
+
+// CompareModel cross-checks the shape under an arbitrary memory model:
+// the emulator runs with the model's semantics table active and is
+// checked against its OWN reference enumeration under the same table, so
+// soundness and completeness are per-model properties.
+func CompareModel(t *lkmm.Test, mm *memmodel.Table) *Divergence {
+	emu := lkmm.RunModel(t, mm)
+	ref := model.RunModel(t, mm)
 	var onlyEmu, onlyRef []string
 	for o := range emu.Outcomes {
 		if !ref.Has(o) {
@@ -115,24 +122,34 @@ type SuiteResult struct {
 	VerdictErrs []string
 	// Runs and States are the engines' search sizes, for reports.
 	Runs, States int
+	// ModelName is the memory model the entry was checked under.
+	ModelName string
 }
 
 // OK reports whether the entry passed: engines agree and every LKMM
 // verdict holds.
 func (r *SuiteResult) OK() bool { return r.Div == nil && len(r.VerdictErrs) == 0 }
 
-// CheckSuite replays every named suite shape through both engines,
-// asserting outcome-set equality and the per-entry LKMM verdicts.
-func CheckSuite() []SuiteResult {
+// CheckSuite replays every named suite shape through both engines under
+// the LKMM, asserting outcome-set equality and the per-entry LKMM
+// verdicts.
+func CheckSuite() []SuiteResult { return CheckSuiteModel(memmodel.LKMM) }
+
+// CheckSuiteModel is CheckSuite under an arbitrary memory model: both
+// engines run the model's semantics and the verdicts come from each
+// entry's per-model resolution (SuiteEntry.VerdictsFor).
+func CheckSuiteModel(mm *memmodel.Table) []SuiteResult {
 	var out []SuiteResult
 	for _, e := range lkmm.Suite() {
-		emu := lkmm.Run(e.Test)
-		ref := model.Run(e.Test)
+		emu := lkmm.RunModel(e.Test, mm)
+		ref := model.RunModel(e.Test, mm)
 		r := SuiteResult{
 			Entry: e, OEMU: emu.Sorted(), Model: ref.Sorted(),
-			Runs: emu.Runs, States: ref.States, Div: Compare(e.Test),
+			Runs: emu.Runs, States: ref.States, Div: CompareModel(e.Test, mm),
+			ModelName: mm.Name(),
 		}
-		for _, o := range e.Allowed {
+		allowed, forbidden := e.VerdictsFor(mm.Name())
+		for _, o := range allowed {
 			if !emu.Has(o) {
 				r.VerdictErrs = append(r.VerdictErrs, fmt.Sprintf("allowed outcome %s unreachable by OEMU", o))
 			}
@@ -140,7 +157,7 @@ func CheckSuite() []SuiteResult {
 				r.VerdictErrs = append(r.VerdictErrs, fmt.Sprintf("allowed outcome %s not permitted by model", o))
 			}
 		}
-		for _, o := range e.Forbidden {
+		for _, o := range forbidden {
 			if emu.Has(o) {
 				r.VerdictErrs = append(r.VerdictErrs, fmt.Sprintf("forbidden outcome %s observed by OEMU", o))
 			}

@@ -4,24 +4,32 @@ import (
 	"testing"
 
 	"ozz/internal/lkmm"
+	"ozz/internal/memmodel"
 )
 
 // FuzzDifferential lets the native fuzzer drive the generator's (seed,
-// index) space: every reachable shape must agree between OEMU and the
-// reference model. The shape space is fully determined by the two
-// integers, so coverage-guided mutation explores generator corner cases
-// (thread-count and op-mix boundaries) far faster than a linear sweep.
+// index) space AND the memory-model choice: every reachable shape must
+// agree between OEMU and the reference enumerator under every model. The
+// model is picked from the index's high bits so one fuzz target covers
+// lkmm, tso, and armv8, and the (shape, model) pair is fully determined
+// by the two integers — coverage-guided mutation explores generator
+// corner cases (thread-count and op-mix boundaries) far faster than a
+// linear sweep.
 func FuzzDifferential(f *testing.F) {
 	f.Add(uint64(1), uint(0))
 	f.Add(uint64(0xdeadbeef), uint(7))
 	f.Add(uint64(0), uint(1023))
+	f.Add(uint64(42), uint(4096+17))   // tso region
+	f.Add(uint64(42), uint(2*4096+17)) // armv8 region
 	f.Fuzz(func(t *testing.T, seed uint64, index uint) {
+		models := memmodel.All()
+		mm := models[int(index/4096)%len(models)]
 		shape := Shape(seed, int(index%4096))
-		d := Compare(shape)
+		d := CompareModel(shape, mm)
 		if d == nil {
 			return
 		}
-		shrunk := Shrink(shape, func(c *lkmm.Test) bool { return Compare(c) != nil })
-		t.Fatalf("%s\nshrunk: %s", d, Compare(shrunk))
+		shrunk := Shrink(shape, func(c *lkmm.Test) bool { return CompareModel(c, mm) != nil })
+		t.Fatalf("model %s: %s\nshrunk: %s", mm.Name(), d, CompareModel(shrunk, mm))
 	})
 }

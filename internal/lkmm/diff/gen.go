@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"ozz/internal/lkmm"
+	"ozz/internal/memmodel"
 	"ozz/internal/trace"
 )
 
@@ -128,19 +129,27 @@ func (f *GenFailure) String() string {
 }
 
 // CrossCheck generates n shapes from the seed and cross-checks each
-// through Compare, shrinking every divergence to a minimal
+// through Compare under the LKMM, shrinking every divergence to a minimal
 // counterexample. It returns all failures (empty means OEMU and the
 // model agreed on every shape).
 func CrossCheck(seed uint64, n int) []GenFailure {
+	return CrossCheckModel(seed, n, memmodel.LKMM)
+}
+
+// CrossCheckModel is CrossCheck under an arbitrary memory model: the same
+// deterministic shape stream, each shape compared against the model's own
+// reference enumeration. Running the identical (seed, n) stream once per
+// registered model is how CI covers every model with the same shapes.
+func CrossCheckModel(seed uint64, n int, mm *memmodel.Table) []GenFailure {
 	var fails []GenFailure
 	for i := 0; i < n; i++ {
 		t := Shape(seed, i)
-		d := Compare(t)
+		d := CompareModel(t, mm)
 		if d == nil {
 			continue
 		}
-		shrunk := Shrink(t, func(c *lkmm.Test) bool { return Compare(c) != nil })
-		fails = append(fails, GenFailure{Index: i, Seed: seed, Div: d, ShrunkDiv: Compare(shrunk)})
+		shrunk := Shrink(t, func(c *lkmm.Test) bool { return CompareModel(c, mm) != nil })
+		fails = append(fails, GenFailure{Index: i, Seed: seed, Div: d, ShrunkDiv: CompareModel(shrunk, mm)})
 	}
 	return fails
 }

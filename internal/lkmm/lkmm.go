@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"ozz/internal/kmem"
+	"ozz/internal/memmodel"
 	"ozz/internal/oemu"
 	"ozz/internal/trace"
 )
@@ -120,10 +121,15 @@ func (r *Result) Sorted() []string {
 // instrID assigns a unique site to thread t's op i.
 func instrID(t, i int) trace.InstrID { return trace.InstrID(t*100 + i + 1) }
 
-// Run enumerates all interleavings x directive assignments and returns the
-// observable outcomes. The search is exhaustive (exponential in program
-// size — litmus tests are tiny by design).
-func Run(test *Test) *Result {
+// Run enumerates all interleavings x directive assignments under the LKMM
+// and returns the observable outcomes. The search is exhaustive
+// (exponential in program size — litmus tests are tiny by design).
+func Run(test *Test) *Result { return RunModel(test, memmodel.LKMM) }
+
+// RunModel is Run under an arbitrary memory model: the emulator executes
+// every interleaving x directive assignment with the given semantics
+// table active.
+func RunModel(test *Test, mm *memmodel.Table) *Result {
 	res := &Result{Outcomes: make(map[Outcome]bool)}
 	// Enumerate directive assignments: a bit per delayable store and per
 	// versionable load.
@@ -147,7 +153,7 @@ func Run(test *Test) *Result {
 	}
 	for mask := 0; mask < 1<<len(sites); mask++ {
 		enumerateInterleavings(test, func(order []int) {
-			regs := execute(test, order, func(th *oemu.Thread) {
+			regs := execute(test, order, mm, func(th *oemu.Thread) {
 				for bi, s := range sites {
 					if mask&(1<<bi) == 0 {
 						continue
@@ -173,7 +179,10 @@ func Run(test *Test) *Result {
 // the engine's plan cache shares one immutable plan across runs — so
 // equality of Run and RunPlanned over a test proves the plan path cannot
 // change litmus semantics.
-func RunPlanned(test *Test) *Result {
+func RunPlanned(test *Test) *Result { return RunPlannedModel(test, memmodel.LKMM) }
+
+// RunPlannedModel is RunPlanned under an arbitrary memory model.
+func RunPlannedModel(test *Test, mm *memmodel.Table) *Result {
 	res := &Result{Outcomes: make(map[Outcome]bool)}
 	type dirSite struct {
 		instr trace.InstrID
@@ -205,9 +214,9 @@ func RunPlanned(test *Test) *Result {
 				read = append(read, s.instr)
 			}
 		}
-		plan := oemu.CompilePlan(delay, read)
+		plan := oemu.CompilePlanModel(delay, read, mm)
 		enumerateInterleavings(test, func(order []int) {
-			regs := execute(test, order, func(th *oemu.Thread) {
+			regs := execute(test, order, mm, func(th *oemu.Thread) {
 				th.InstallPlan(plan)
 			})
 			res.Outcomes[MakeOutcome(regs)] = true
@@ -246,14 +255,14 @@ func enumerateInterleavings(test *Test, visit func(order []int)) {
 	_ = counts
 }
 
-// execute runs one interleaving with install applied to every thread
-// (incremental directives or a precompiled plan) and returns the final
-// registers. Store buffers drain at thread exit (like a syscall return);
-// registers are read after all threads finish.
-func execute(test *Test, order []int, install func(*oemu.Thread)) []uint64 {
+// execute runs one interleaving under the given memory model with install
+// applied to every thread (incremental directives or a precompiled plan)
+// and returns the final registers. Store buffers drain at thread exit
+// (like a syscall return); registers are read after all threads finish.
+func execute(test *Test, order []int, mm *memmodel.Table, install func(*oemu.Thread)) []uint64 {
 	mem := kmem.New()
 	mem.Sanitize = false
-	em := oemu.New(mem)
+	em := oemu.NewModel(mem, mm)
 	threads := make([]*oemu.Thread, len(test.Threads))
 	for i := range threads {
 		threads[i] = em.NewThread(i)

@@ -31,12 +31,17 @@
 //     (Case 7 and §3's scope), so the LB outcome is structurally
 //     unreachable.
 //
-// The barrier and annotation predicates (trace.BarrierKind.OrdersStores/
-// OrdersLoads, trace.Atomicity.ActsAsLoadBarrier/IsRelease) are shared
-// with OEMU and with Algorithm 1's hypothetical-barrier grouping
-// (hints.TestKind.ClosedBy), so all three layers agree on the PPO cases
-// by construction; what the differential harness then checks is that the
-// *mechanics* around those predicates agree too.
+// The barrier and annotation semantics come from the active
+// memmodel.Table — the same compiled table OEMU and Algorithm 1's
+// hypothetical-barrier grouping (hints.TestKind closure) dispatch through
+// — so all three layers agree on the PPO cases by construction; what the
+// differential harness then checks is that the *mechanics* around those
+// predicates agree too. RunModel explores the machine under any
+// registered model: store delayability/release and load
+// versionability/window pins are read from the table, and a
+// store-store-ordered model (x86-TSO) switches the buffer to FIFO
+// discipline — no coalescing, and in-place commits drain the buffer
+// first, exactly mirroring the emulator's rules.
 package model
 
 import (
@@ -45,6 +50,7 @@ import (
 	"strings"
 
 	"ozz/internal/lkmm"
+	"ozz/internal/memmodel"
 )
 
 // Result is the set of outcomes the reference model permits for a test.
@@ -232,17 +238,23 @@ func (s *state) pendingIndex(t, loc int) int {
 // machine is one exhaustive exploration.
 type machine struct {
 	test    *lkmm.Test
+	mm      *memmodel.Table
 	visited map[string]bool
 	res     *Result
 }
 
 // Run explores every interleaving of the test's threads across every
-// store-buffer/versioning choice and returns the permitted outcome set.
-// The search is exhaustive and deterministic; litmus tests are tiny by
-// design, so the deduplicated state space is small.
-func Run(t *lkmm.Test) *Result {
+// store-buffer/versioning choice under the LKMM and returns the permitted
+// outcome set. The search is exhaustive and deterministic; litmus tests
+// are tiny by design, so the deduplicated state space is small.
+func Run(t *lkmm.Test) *Result { return RunModel(t, memmodel.LKMM) }
+
+// RunModel is Run under an arbitrary memory model: every transition rule
+// reads its barrier/atomicity semantics from the given table.
+func RunModel(t *lkmm.Test, mm *memmodel.Table) *Result {
 	m := &machine{
 		test:    t,
+		mm:      mm,
 		visited: make(map[string]bool),
 		res:     &Result{Outcomes: make(map[lkmm.Outcome]bool)},
 	}
@@ -283,30 +295,56 @@ func (m *machine) explore(s *state) {
 // step executes thread ti's next op and returns every permitted successor
 // — one per nondeterministic choice the memory model grants the op.
 func (m *machine) step(s *state, ti int) []*state {
+	mm := m.mm
 	op := m.test.Threads[ti][s.pc[ti]]
 	switch op.Kind {
 	case lkmm.OpBarrier:
-		// The five barrier PPO cases: store-ordering barriers drain the
-		// buffer, load-ordering barriers pin the versioning window.
+		// The barrier table of the active model: store-ordering barriers
+		// drain the buffer, load-ordering barriers pin the versioning
+		// window (under LKMM these are exactly the five §10.1 barrier PPO
+		// cases; under TSO only smp_mb does either).
 		ns := s.clone()
 		ns.pc[ti]++
-		if op.Bar.OrdersStores() {
+		if mm.OrdersStores(op.Bar) {
 			ns.drain(ti)
 		}
-		if op.Bar.OrdersLoads() {
+		if mm.OrdersLoads(op.Bar) {
 			ns.tRmb[ti] = ns.clock
 		}
 		return []*state{ns}
 
 	case lkmm.OpStore:
-		if op.Atomic.IsRelease() {
-			// Case 5: all precedent accesses complete first; the release
-			// store itself is never delayed.
+		if mm.Release(op.Atomic) {
+			// Case 5 (or a TSO locked RMW): all precedent accesses
+			// complete first; the release store itself is never delayed.
 			ns := s.clone()
 			ns.pc[ti]++
 			ns.drain(ti)
 			ns.commit(ti, op.Loc, op.Val)
 			return []*state{ns}
+		}
+		if mm.StoreStoreOrdered() {
+			// FIFO store buffer (x86-TSO): no coalescing — a second store
+			// to a buffered location drains the buffer first — and an
+			// in-place commit must drain older buffered stores so
+			// visibility order matches program order. Mirrors the
+			// emulator's FlushPPO rules exactly.
+			base := s
+			if s.pendingIndex(ti, op.Loc) >= 0 {
+				base = s.clone()
+				base.drain(ti)
+			}
+			inOrder := base.clone()
+			inOrder.pc[ti]++
+			inOrder.drain(ti)
+			inOrder.commit(ti, op.Loc, op.Val)
+			if !mm.Delayable(op.Atomic) {
+				return []*state{inOrder}
+			}
+			delayed := base.clone()
+			delayed.pc[ti]++
+			delayed.sb[ti] = append(delayed.sb[ti], pendingStore{loc: op.Loc, val: op.Val})
+			return []*state{inOrder, delayed}
 		}
 		if idx := s.pendingIndex(ti, op.Loc); idx >= 0 {
 			// CoWW: same-location program order is preserved by
@@ -318,11 +356,15 @@ func (m *machine) step(s *state, ti int) []*state {
 			ns.sb[ti][idx].val = op.Val
 			return []*state{ns}
 		}
-		// The store-buffering choice of §3.1: commit in place, or hold
-		// the value back until the next drain point.
+		// The store-buffering choice of §3.1: commit in place, or — when
+		// the model lets this annotation delay — hold the value back
+		// until the next drain point.
 		inOrder := s.clone()
 		inOrder.pc[ti]++
 		inOrder.commit(ti, op.Loc, op.Val)
+		if !mm.Delayable(op.Atomic) {
+			return []*state{inOrder}
+		}
 		delayed := s.clone()
 		delayed.pc[ti]++
 		delayed.sb[ti] = append(delayed.sb[ti], pendingStore{loc: op.Loc, val: op.Val})
@@ -336,26 +378,31 @@ func (m *machine) step(s *state, ti int) []*state {
 			ns := s.clone()
 			ns.pc[ti]++
 			ns.regs[op.Reg] = ns.sb[ti][idx].val
-			if op.Atomic.ActsAsLoadBarrier() {
+			if mm.LoadBarrier(op.Atomic) {
 				ns.tRmb[ti] = ns.clock
 			}
 			return []*state{ns}
 		}
-		// The versioning choice of §3.2: observe the current value, or
-		// the value the location held at the window start. The window
-		// floor honours the load barriers (tRmb), the thread's own
-		// commits (CoWR), and versions already observed (CoRR).
-		floor := s.tRmb[ti]
-		if lc := s.lastCommit[ti][op.Loc]; lc > floor {
-			floor = lc
-		}
-		if sv := s.seen[ti][op.Loc]; sv > floor {
-			floor = sv
-		}
+		// The versioning choice of §3.2: observe the current value, or —
+		// when the model lets this annotation version — the value the
+		// location held at the window start. The window floor honours the
+		// load barriers (tRmb), the thread's own commits (CoWR), and
+		// versions already observed (CoRR). A model with no versionable
+		// loads (TSO: no invalidation-queue effects) always reads the
+		// current value.
 		curVal, curTime := s.current(op.Loc)
-		out := []*state{s.readLoad(ti, op, curVal, curTime)}
-		if oldVal, oldTime := s.valueAt(op.Loc, floor); oldTime != curTime {
-			out = append(out, s.readLoad(ti, op, oldVal, oldTime))
+		out := []*state{m.readLoad(s, ti, op, curVal, curTime)}
+		if mm.Versionable(op.Atomic) {
+			floor := s.tRmb[ti]
+			if lc := s.lastCommit[ti][op.Loc]; lc > floor {
+				floor = lc
+			}
+			if sv := s.seen[ti][op.Loc]; sv > floor {
+				floor = sv
+			}
+			if oldVal, oldTime := s.valueAt(op.Loc, floor); oldTime != curTime {
+				out = append(out, m.readLoad(s, ti, op, oldVal, oldTime))
+			}
 		}
 		return out
 	}
@@ -364,13 +411,14 @@ func (m *machine) step(s *state, ti int) []*state {
 
 // readLoad builds the successor state of a (non-forwarded) load observing
 // the version (val, time): the register and the CoRR floor update, plus
-// the window pin of annotated loads (Cases 4 and 6).
-func (s *state) readLoad(ti int, op lkmm.Op, val, time uint64) *state {
+// the window pin of model-designated load-barrier annotations (LKMM Cases
+// 4 and 6; acquire only under ARMv8).
+func (m *machine) readLoad(s *state, ti int, op lkmm.Op, val, time uint64) *state {
 	ns := s.clone()
 	ns.pc[ti]++
 	ns.regs[op.Reg] = val
 	ns.seen[ti][op.Loc] = time
-	if op.Atomic.ActsAsLoadBarrier() {
+	if m.mm.LoadBarrier(op.Atomic) {
 		ns.tRmb[ti] = ns.clock
 	}
 	return ns

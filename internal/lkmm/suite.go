@@ -21,6 +21,29 @@ type SuiteEntry struct {
 	// Cases lists the §10.1 preserved-program-order cases the entry
 	// exercises (1-7), empty for pure coherence/capability shapes.
 	Cases []int
+	// Models overrides the verdicts for non-LKMM memory models, keyed by
+	// memmodel registry name ("tso", "armv8"). A model absent from the map
+	// inherits the LKMM Allowed/Forbidden verdicts; a present entry
+	// REPLACES both lists. Use VerdictsFor to resolve.
+	Models map[string]ModelVerdict
+}
+
+// ModelVerdict is one memory model's Allowed/Forbidden expectation for a
+// suite entry whose verdicts differ from the LKMM's.
+type ModelVerdict struct {
+	// Allowed lists outcomes that must be reachable under the model.
+	Allowed []Outcome
+	// Forbidden lists outcomes that must be unreachable under the model.
+	Forbidden []Outcome
+}
+
+// VerdictsFor resolves the entry's verdicts under the named memory model:
+// the per-model override when present, the LKMM defaults otherwise.
+func (e *SuiteEntry) VerdictsFor(model string) (allowed, forbidden []Outcome) {
+	if v, ok := e.Models[model]; ok {
+		return v.Allowed, v.Forbidden
+	}
+	return e.Allowed, e.Forbidden
 }
 
 // suiteMP builds a message-passing shape: P0 stores data then flag (with
@@ -42,6 +65,12 @@ func Suite() []SuiteEntry {
 			Test:    suiteMP("MP (relaxed)", nil, nil),
 			Allowed: []Outcome{"r0=1;r1=0"},
 			Comment: "no barriers: the stale observation is allowed and OEMU reaches it",
+			Models: map[string]ModelVerdict{
+				// TSO's FIFO store buffer publishes data before flag, and
+				// its loads never read stale values: barrier-free MP is
+				// already ordered on x86.
+				"tso": {Forbidden: []Outcome{"r0=1;r1=0"}},
+			},
 		},
 		{
 			Test:      suiteMP("MP+wmb+rmb", []Op{Wmb()}, []Op{Rmb()}),
@@ -53,6 +82,10 @@ func Suite() []SuiteEntry {
 			Test:    suiteMP("MP+wmb only", []Op{Wmb()}, nil),
 			Allowed: []Outcome{"r0=1;r1=0"},
 			Comment: "writer ordered, reader not: still weak — why Fig. 1 needs BOTH barriers",
+			Models: map[string]ModelVerdict{
+				// On x86 the reader needs no barrier either.
+				"tso": {Forbidden: []Outcome{"r0=1;r1=0"}},
+			},
 		},
 		{
 			Test:      suiteMP("MP+mb+mb", []Op{Mb()}, []Op{Mb()}),
@@ -77,6 +110,15 @@ func Suite() []SuiteEntry {
 			Forbidden: []Outcome{"r0=1;r1=0"},
 			Comment:   "READ_ONCE flag consumer: the annotated load orders the dependent load (LKMM case 6)",
 			Cases:     []int{6},
+			Models: map[string]ModelVerdict{
+				// The shape that splits all three models: LKMM forbids it
+				// (Case 6), TSO forbids it (in-order loads), but ARMv8
+				// drops the conservative annotated-load dependency rule —
+				// a relaxed LDR does not order the dependent load, so the
+				// stale observation is reachable.
+				"armv8": {Allowed: []Outcome{"r0=1;r1=0"}},
+				"tso":   {Forbidden: []Outcome{"r0=1;r1=0"}},
+			},
 		},
 		{
 			Test: &Test{Name: "SB (relaxed)", Threads: [][]Op{

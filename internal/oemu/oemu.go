@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"ozz/internal/kmem"
+	"ozz/internal/memmodel"
 	"ozz/internal/trace"
 )
 
@@ -114,7 +115,7 @@ func (d *Directives) DelayStoreAt(i trace.InstrID) {
 // past it.
 func (d *Directives) ReadOldValueAt(i trace.InstrID) {
 	d.readOld = insertSorted(d.readOld, i)
-	if d.em != nil {
+	if d.em != nil && d.em.mm.AnyVersionable() {
 		d.em.armHistory()
 	}
 }
@@ -160,12 +161,28 @@ type Plan struct {
 // CompilePlan canonicalizes the given site sets into an immutable Plan.
 // The inputs are copied; the caller keeps ownership of its slices.
 func CompilePlan(delayStore, readOld []trace.InstrID) *Plan {
+	return CompilePlanModel(delayStore, readOld, memmodel.LKMM)
+}
+
+// CompilePlanModel canonicalizes the site sets into an immutable Plan for
+// one memory model, dropping sites the model makes inert: versioned-load
+// sites under a model with no versionable loads (no invalidation-queue
+// effects, e.g. TSO), and delayed-store sites under a model with no
+// delayable stores. Dropping them at compile time keeps the plan's
+// HasReads/Empty answers — and therefore history-tracking arming and
+// in-order fast paths — accurate per model. Plans are model-specific; the
+// plan cache must key on the model name.
+func CompilePlanModel(delayStore, readOld []trace.InstrID, mm *memmodel.Table) *Plan {
 	p := &Plan{}
-	for _, s := range delayStore {
-		p.delayStore = insertSorted(p.delayStore, s)
+	if mm.AnyDelayable() {
+		for _, s := range delayStore {
+			p.delayStore = insertSorted(p.delayStore, s)
+		}
 	}
-	for _, s := range readOld {
-		p.readOld = insertSorted(p.readOld, s)
+	if mm.AnyVersionable() {
+		for _, s := range readOld {
+			p.readOld = insertSorted(p.readOld, s)
+		}
 	}
 	return p
 }
@@ -189,7 +206,7 @@ func (p *Plan) HasReads() bool { return len(p.readOld) > 0 }
 // calling ReadOldValueAt for each site.
 func (t *Thread) InstallPlan(p *Plan) {
 	t.Dir.plan = p
-	if p != nil && p.HasReads() {
+	if p != nil && p.HasReads() && t.em.mm.AnyVersionable() {
 		t.em.armHistory()
 	}
 }
@@ -372,6 +389,12 @@ type Counters struct {
 	// FlushSyscall counts drains at syscall exit (the in-vivo boundary
 	// past which a real store buffer cannot hold a store).
 	FlushSyscall uint64
+	// FlushPPO counts drains forced by the active memory model's
+	// preserved-program-order rules — under a FIFO store buffer (x86-TSO)
+	// a store that cannot be delayed must not overtake older buffered
+	// stores, and a second store to a buffered location must not coalesce.
+	// Always zero under LKMM/ARMv8 (their buffers are unordered).
+	FlushPPO uint64
 	// LoadWindowAdvances counts versioning-window starts moving forward
 	// (load/full/acquire barriers and annotated loads, when the clock has
 	// advanced since the last window start).
@@ -399,6 +422,13 @@ type Counters struct {
 type OEMU struct {
 	Mem   *kmem.Memory
 	clock uint64
+
+	// mm is the active memory model's compiled semantics table. Every
+	// barrier/atomicity ordering decision dispatches through it — dense
+	// array loads, no per-op interface calls (see internal/memmodel). It
+	// defaults to LKMM and is restored to LKMM by Reset, so recycled
+	// emulators behave like New unless the engine re-selects a model.
+	mm *memmodel.Table
 
 	// trackHistory selects whether commits are recorded into the store
 	// history (and coherence stamps maintained). It is on by default —
@@ -439,14 +469,38 @@ type OEMU struct {
 // Counters returns the activity tally accumulated since the last Reset.
 func (em *OEMU) Counters() Counters { return em.n }
 
-// New returns an emulator over the given memory.
+// New returns an emulator over the given memory, running the default LKMM
+// semantics.
 func New(mem *kmem.Memory) *OEMU {
+	return NewModel(mem, memmodel.LKMM)
+}
+
+// NewModel returns an emulator over the given memory running the given
+// memory model (nil selects LKMM).
+func NewModel(mem *kmem.Memory, mm *memmodel.Table) *OEMU {
+	if mm == nil {
+		mm = memmodel.LKMM
+	}
 	return &OEMU{
 		Mem:          mem,
+		mm:           mm,
 		trackHistory: true,
 		addrIndex:    make(map[trace.Addr]int32),
 	}
 }
+
+// SetModel switches the active memory model (nil selects LKMM). Call it
+// between runs, before the emulator executes accesses — switching models
+// mid-run would mix semantics within one execution.
+func (em *OEMU) SetModel(mm *memmodel.Table) {
+	if mm == nil {
+		mm = memmodel.LKMM
+	}
+	em.mm = mm
+}
+
+// Model returns the active memory model's semantics table.
+func (em *OEMU) Model() *memmodel.Table { return em.mm }
 
 // SetHistoryTracking turns store-history recording on or off. Tracking is
 // on by default. Turning it off is a pure optimization valid only for runs
@@ -541,6 +595,7 @@ func (em *OEMU) Reset() {
 	em.n = Counters{}
 	em.trackHistory = true
 	em.armFloor = 0
+	em.mm = memmodel.LKMM
 	for _, idx := range em.histTouched {
 		r := &em.hist[idx]
 		r.start = 0
@@ -627,16 +682,41 @@ func (em *OEMU) latestTime(idx int32) uint64 {
 }
 
 // Store executes a store operation at instruction site instr. Release
-// semantics flush the store buffer first (LKMM Case 5). If the site is
-// directed to delay — and no barrier forbids it — the value is held in the
-// virtual store buffer instead of being committed (§3.1).
+// semantics (per the active memory model) flush the store buffer first
+// (LKMM Case 5). If the site is directed to delay — and the model permits
+// delaying this annotation — the value is held in the virtual store buffer
+// instead of being committed (§3.1). Under a store-store-ordered model
+// (x86-TSO) the buffer is FIFO: no coalescing, and a store that commits
+// now must drain older buffered stores first so visibility order matches
+// program order.
 func (t *Thread) Store(instr trace.InstrID, addr trace.Addr, val uint64, atom trace.Atomicity) {
 	em := t.em
-	if atom.IsRelease() {
+	mm := em.mm
+	if mm.Release(atom) {
 		// smp_store_release / clear_bit_unlock: all precedent accesses
 		// complete before this store (flush acts as smp_wmb; precedent
 		// loads already executed in place as OEMU never delays loads).
 		t.flush(&em.n.FlushRelease)
+	}
+	if mm.StoreStoreOrdered() {
+		// FIFO store buffer. Coalescing into a non-newest entry would
+		// publish this value before a program-earlier buffered store to
+		// another location; drain instead when the location is pending.
+		if _, pending := t.PendingAt(addr); pending {
+			t.flush(&em.n.FlushPPO)
+		}
+		if t.Dir.hasDelay(instr) && mm.Delayable(atom) {
+			t.sb = append(t.sb, pendingStore{addr: addr, val: val, instr: instr})
+			t.Log = append(t.Log, ReorderRecord{Kind: ReorderDelayedStore, Instr: instr, Addr: addr, Val: val})
+			em.n.StoresDelayed++
+			return
+		}
+		if len(t.sb) > 0 {
+			// Committing now would overtake older buffered stores.
+			t.flush(&em.n.FlushPPO)
+		}
+		em.commit(t, addr, val)
+		return
 	}
 	for i := range t.sb {
 		if t.sb[i].addr == addr {
@@ -650,7 +730,7 @@ func (t *Thread) Store(instr trace.InstrID, addr trace.Addr, val uint64, atom tr
 			return
 		}
 	}
-	if t.Dir.hasDelay(instr) && !atom.IsRelease() {
+	if t.Dir.hasDelay(instr) && mm.Delayable(atom) {
 		t.sb = append(t.sb, pendingStore{addr: addr, val: val, instr: instr})
 		t.Log = append(t.Log, ReorderRecord{Kind: ReorderDelayedStore, Instr: instr, Addr: addr, Val: val})
 		em.n.StoresDelayed++
@@ -674,7 +754,7 @@ func (t *Thread) Load(instr trace.InstrID, addr trace.Addr, atom trace.Atomicity
 	case t.forwardedVal(addr, &val):
 		t.Log = append(t.Log, ReorderRecord{Kind: ReorderForwarded, Instr: instr, Addr: addr, Val: val})
 		em.n.ForwardedLoads++
-	case em.trackHistory && t.Dir.hasReadOld(instr):
+	case em.trackHistory && em.mm.Versionable(atom) && t.Dir.hasReadOld(instr):
 		idx := em.addrOf(addr)
 		// The versioning window floor: the last load barrier, but never
 		// older than the thread's own committed store to the location,
@@ -707,9 +787,10 @@ func (t *Thread) Load(instr trace.InstrID, addr trace.Addr, atom trace.Atomicity
 			t.seen = t.seen.set(idx, em.latestTime(idx))
 		}
 	}
-	if atom.ActsAsLoadBarrier() {
-		// READ_ONCE / atomic / acquire load: subsequent loads must not
-		// observe values older than this point (LKMM Cases 4 and 6).
+	if em.mm.LoadBarrier(atom) {
+		// A load the model treats as a load barrier (LKMM Cases 4 and 6;
+		// only acquire under ARMv8): subsequent loads must not observe
+		// values older than this point.
 		t.advanceWindow()
 	}
 	return val
@@ -729,10 +810,11 @@ func (t *Thread) advanceWindow() {
 // ordering barriers advance the versioning window (no later load may read a
 // value older than the barrier point).
 func (t *Thread) Barrier(kind trace.BarrierKind) {
-	if kind.OrdersStores() {
+	mm := t.em.mm
+	if mm.OrdersStores(kind) {
 		t.flush(t.flushCauseCounter(kind))
 	}
-	if kind.OrdersLoads() {
+	if mm.OrdersLoads(kind) {
 		t.advanceWindow()
 	}
 }

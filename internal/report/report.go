@@ -37,6 +37,12 @@ type Report struct {
 	// Tests is the number of multi-threaded test executions run before
 	// the bug fired (the Table 4 "# of tests" column).
 	Tests int
+	// Models lists the memory-model names under which the cross-model
+	// probe reproduced the reordering (sorted; empty when the probe did
+	// not run). A strict subset of the registered models means the bug
+	// is architecture-dependent — e.g. reachable under lkmm and armv8
+	// but not under tso's FIFO store buffer.
+	Models []string
 }
 
 // String renders the report in a syzkaller-dashboard-like block.
@@ -55,6 +61,9 @@ func (r *Report) String() string {
 		}
 		fmt.Fprintf(&sb, "  pair:     %s <-> %s\n", r.Pair[0], r.Pair[1])
 		fmt.Fprintf(&sb, "  hint rank: %d, tests: %d\n", r.HintRank, r.Tests)
+		if len(r.Models) > 0 {
+			fmt.Fprintf(&sb, "  reorders under: %s\n", strings.Join(r.Models, ", "))
+		}
 	}
 	if r.Program != "" {
 		fmt.Fprintf(&sb, "  program:\n")

@@ -66,7 +66,21 @@ const (
 	// AtomicRelease is an atomic or plain store with release semantics
 	// (smp_store_release, clear_bit_unlock).
 	AtomicRelease
+
+	// NumAtomicities is the number of Atomicity values; enumeration and
+	// exhaustiveness checks (internal/memmodel) iterate [0, NumAtomicities).
+	NumAtomicities = int(AtomicRelease) + 1
 )
+
+// AllAtomicities lists every Atomicity value in declaration order, for
+// table-driven exhaustiveness tests.
+func AllAtomicities() []Atomicity {
+	out := make([]Atomicity, NumAtomicities)
+	for i := range out {
+		out[i] = Atomicity(i)
+	}
+	return out
+}
 
 // String returns a short human-readable name.
 func (a Atomicity) String() string {
@@ -92,7 +106,8 @@ func (a Atomicity) String() string {
 // address-dependency rule). OEMU advances the versioning window after such
 // loads; the reference model (internal/lkmm/model) and the
 // hypothetical-barrier test (internal/hints) share this predicate so all
-// three agree on which loads pin the window.
+// three agree on which loads pin the window. This is the LKMM reading;
+// other memory models override it via internal/memmodel tables.
 func (a Atomicity) ActsAsLoadBarrier() bool {
 	return a == Once || a == Atomic || a == AtomicAcquire
 }
@@ -122,7 +137,21 @@ const (
 	// BarrierRelease is the ordering half of smp_store_release(): all
 	// precedent loads/stores are ordered before the annotated store.
 	BarrierRelease
+
+	// NumBarrierKinds is the number of BarrierKind values; enumeration and
+	// exhaustiveness checks (internal/memmodel) iterate [0, NumBarrierKinds).
+	NumBarrierKinds = int(BarrierRelease) + 1
 )
+
+// AllBarrierKinds lists every BarrierKind value in declaration order, for
+// table-driven exhaustiveness tests.
+func AllBarrierKinds() []BarrierKind {
+	out := make([]BarrierKind, NumBarrierKinds)
+	for i := range out {
+		out[i] = BarrierKind(i)
+	}
+	return out
+}
 
 // String returns the Linux API name for the barrier.
 func (b BarrierKind) String() string {
@@ -180,6 +209,13 @@ type BarrierEvent struct {
 	// RMW operations. OEMU and Algorithm 1 honour them like any barrier;
 	// a source-level static analysis (OFence, §6.4) cannot see them.
 	Implicit bool
+	// Atomic is the annotation of the access that induced an implicit
+	// barrier (zero for source-level barrier calls). Whether such an
+	// annotation really orders anything is model-relative — LKMM's Case 6
+	// makes READ_ONCE a load barrier, ARMv8's does not — so the hint layer
+	// re-derives the effect from the active memmodel.Table instead of
+	// trusting Kind alone.
+	Atomic Atomicity
 }
 
 // Event is one profiled event: either a memory access or a memory barrier.
