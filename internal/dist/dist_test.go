@@ -78,7 +78,10 @@ func TestShardsPlan(t *testing.T) {
 // startManager serves a manager over an httptest listener.
 func startManager(t *testing.T, cfg ManagerConfig) (*Manager, *httptest.Server) {
 	t.Helper()
-	m := NewManager(cfg)
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
 	srv := httptest.NewServer(m.Handler())
 	t.Cleanup(srv.Close)
 	return m, srv
@@ -154,6 +157,10 @@ func TestDistributedMatchesStandalone(t *testing.T) {
 // standalone result.
 func TestWorkerKillLeaseReassignment(t *testing.T) {
 	cfg := fastManagerConfig(40, 10)
+	// Disable work stealing so the TTL sweep (not an instant duplicate
+	// lease) is what rescues the victim's shard — that path must keep
+	// working when stealing is off.
+	cfg.StealDuplicates = -1
 	wantReports, wantCorpus := RunShardsLocal(cfg, 2)
 
 	m, srv := startManager(t, cfg)
@@ -363,10 +370,12 @@ func TestGracefulShutdownFlushes(t *testing.T) {
 	}
 	// The worker's in-flight shard went back on the queue.
 	m.mu.Lock()
-	pendingPlusDone := len(m.pending) + m.completed + len(m.inflight)
+	c := m.camps[DefaultCampaign]
+	pendingPlusDone := len(c.pending) + c.completed + len(c.inflight)
+	total := len(c.shards)
 	m.mu.Unlock()
-	if pendingPlusDone != len(m.shards) {
+	if pendingPlusDone != total {
 		t.Errorf("shard accounting broken after shutdown: pending+completed+inflight = %d, shards = %d",
-			pendingPlusDone, len(m.shards))
+			pendingPlusDone, total)
 	}
 }

@@ -32,6 +32,12 @@ func protoMessages() []any {
 func FuzzProtocol(f *testing.F) {
 	for _, m := range []any{
 		RegisterRequest{V: ProtocolVersion, Name: "w1"},
+		RegisterRequest{V: ProtocolVersion, Name: "w2", Campaign: "alpha", Token: "t0k", PrevWorkerID: 3, PrevEpoch: 2},
+		RegisterResponse{V: ProtocolVersion, WorkerID: 2, Epoch: 3, HeartbeatMS: 500},
+		PollRequest{V: ProtocolVersion, WorkerID: 2, Campaign: "alpha", Token: "t0k", Epoch: 3},
+		PollResponse{V: ProtocolVersion,
+			Lease:  &Lease{ID: 1<<32 | 1, Shard: 0, Seed: 9, Steps: 10, TTLMS: 3000},
+			Leases: []*Lease{{ID: 1<<32 | 1, Shard: 0, Seed: 9, Steps: 10, TTLMS: 3000}, {ID: 1<<32 | 2, Shard: 1, Seed: 10, Steps: 10, TTLMS: 3000}}},
 		RegisterResponse{V: ProtocolVersion, WorkerID: 1, HeartbeatMS: 500,
 			Campaign: CampaignSpec{Modules: []string{"wq"}, Bugs: []string{"wq_missing_barrier"}, ProgLen: 3, UseSeeds: true}},
 		PollRequest{V: ProtocolVersion, WorkerID: 1, Completed: []uint64{1, 2}},

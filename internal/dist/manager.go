@@ -1,8 +1,10 @@
 package dist
 
 import (
+	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -90,16 +92,20 @@ func coreConfig(spec CampaignSpec, seed int64, reg *obs.Registry, ev *obs.EventL
 	}
 }
 
-// ManagerConfig parameterizes the fabric manager.
+// ManagerConfig parameterizes the fabric manager. The campaign fields
+// (Campaign, TotalSteps, ShardSteps, Seed, Token) define the manager's
+// default campaign; AddCampaign hosts more next to it.
 type ManagerConfig struct {
-	// Campaign is the campaign configuration shipped to workers.
+	// Campaign is the default campaign's configuration shipped to workers.
 	Campaign CampaignSpec
-	// TotalSteps is the whole campaign's step budget across all shards.
+	// TotalSteps is the default campaign's step budget across all shards.
 	TotalSteps int
 	// ShardSteps is the per-lease step budget (default 64).
 	ShardSteps int
 	// Seed is the base campaign seed the shard seeds derive from.
 	Seed int64
+	// Token, when non-empty, is the default campaign's auth token.
+	Token string
 	// LeaseTTL is how long a granted lease lives without renewal
 	// (default 5s).
 	LeaseTTL time.Duration
@@ -109,6 +115,21 @@ type ManagerConfig struct {
 	// HeartbeatMisses is how many missed cadences mark a worker dead
 	// (default 3).
 	HeartbeatMisses int
+	// MaxLeaseBatch caps how many shards one poll may grant to a worker
+	// when the pending backlog is deep (default 4).
+	MaxLeaseBatch int
+	// StealDuplicates caps how many duplicate (stolen) leases may be
+	// outstanding per in-flight shard beyond the original (default 1;
+	// negative disables work stealing).
+	StealDuplicates int
+	// StateDir, when non-empty, makes every hosted campaign durable:
+	// state is journaled to <StateDir>/<campaign>/wal.log, compacted into
+	// snapshot.json, and restored (with an epoch bump) on the next
+	// NewManager over the same directory.
+	StateDir string
+	// SnapshotEvery is how many WAL records trigger a compaction
+	// (default 256).
+	SnapshotEvery int
 	// Obs, when non-nil, is the registry the manager publishes fabric
 	// metrics into; nil gives it a fresh private registry.
 	Obs *obs.Registry
@@ -131,164 +152,317 @@ func (c *ManagerConfig) normalize() {
 	if c.HeartbeatMisses <= 0 {
 		c.HeartbeatMisses = 3
 	}
+	if c.MaxLeaseBatch <= 0 {
+		c.MaxLeaseBatch = 4
+	}
+	if c.StealDuplicates == 0 {
+		c.StealDuplicates = 1
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 256
+	}
 }
 
-// workerState is the manager's view of one registered worker.
-type workerState struct {
-	id        int
-	name      string
-	lastSeen  time.Time
-	connected bool
-	leases    map[uint64]struct{}
+// defaultCampaignConfig extracts the default campaign's config.
+func (c *ManagerConfig) defaultCampaignConfig() CampaignConfig {
+	return CampaignConfig{
+		Campaign: c.Campaign, TotalSteps: c.TotalSteps,
+		ShardSteps: c.ShardSteps, Seed: c.Seed, Token: c.Token,
+	}
 }
 
-// shardState tracks one shard through grants, reassignments, and
-// completion.
-type shardState struct {
-	shard     Shard
-	completed bool
-}
-
-// leaseState is one outstanding grant.
-type leaseState struct {
-	id     uint64
-	shard  int
-	worker int
-	expiry time.Time
-}
-
-// Manager owns the campaign's global state: the shard frontier, the
-// merged coverage corpus (keyed by program-key hash), and the globally
-// deduplicated report set. All methods and HTTP handlers are safe for
-// concurrent use.
+// Manager hosts campaigns: each owns its shard frontier, merged coverage
+// corpus (keyed by program-key hash), globally deduplicated report set,
+// worker/lease tables, and registration epoch; with a state directory
+// configured each is also journaled to a write-ahead log and restored on
+// restart. All methods and HTTP handlers are safe for concurrent use.
 type Manager struct {
-	cfg    ManagerConfig
-	target *syzlang.Target
-	do     *distObs
+	cfg ManagerConfig
+	do  *distObs
 
-	mu          sync.Mutex
-	workers     map[int]*workerState
-	nextWorker  int
-	shards      []*shardState
-	pending     []int // shard indexes awaiting a worker, FIFO
-	inflight    map[uint64]*leaseState
-	leaseByID   map[uint64]int // every lease ever granted -> shard index
-	nextLease   uint64
-	completed   int
-	doneEmitted bool
-
-	corpus      map[string]*syzlang.Program // key hash -> program
-	corpusOrder []string                    // key hashes in first-seen order
-	reports     *report.Set
+	mu    sync.Mutex
+	camps map[string]*campaign
+	order []string // campaign names in creation order
 
 	// now is stubbed in tests; defaults to time.Now.
 	now func() time.Time
 }
 
-// NewManager builds a fabric manager over the shard plan derived from the
-// configuration. It does not listen; mount Handler on an http.Server.
-func NewManager(cfg ManagerConfig) *Manager {
+// NewManager builds a fabric manager hosting the configuration's default
+// campaign. With StateDir set it restores every campaign found in the
+// directory (the default campaign plus any previously hosted ones),
+// replaying snapshot+WAL and bumping epochs so surviving workers
+// re-register. It does not listen; mount Handler on an http.Server.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
 	cfg.normalize()
 	m := &Manager{
-		cfg:       cfg,
-		target:    modules.Target(cfg.Campaign.Modules...),
-		do:        newDistObs(cfg.Obs, cfg.Events),
-		workers:   make(map[int]*workerState),
-		inflight:  make(map[uint64]*leaseState),
-		leaseByID: make(map[uint64]int),
-		corpus:    make(map[string]*syzlang.Program),
-		reports:   report.NewSet(),
-		now:       time.Now,
+		cfg:   cfg,
+		do:    newDistObs(cfg.Obs, cfg.Events),
+		camps: make(map[string]*campaign),
+		now:   time.Now,
 	}
-	for _, sh := range Shards(cfg.Seed, cfg.TotalSteps, cfg.ShardSteps) {
-		m.shards = append(m.shards, &shardState{shard: sh})
-		m.pending = append(m.pending, sh.Index)
+	if err := m.AddCampaign(DefaultCampaign, cfg.defaultCampaignConfig()); err != nil {
+		return nil, err
 	}
-	m.do.leasesPending.Set(float64(len(m.pending)))
-	return m
+	if cfg.StateDir != "" {
+		entries, err := os.ReadDir(cfg.StateDir)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("dist: state dir: %w", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !e.IsDir() || !validCampaignName(name) || name == DefaultCampaign {
+				continue
+			}
+			// A previously hosted campaign: restore it with an empty config
+			// (the snapshot supplies plan and spec; tokens are config, so a
+			// relaunched fleet re-supplies them via AddCampaign).
+			if err := m.AddCampaign(name, CampaignConfig{}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// AddCampaign hosts (or, when the state directory already holds its
+// snapshot/WAL, restores) a named campaign next to the default one. It
+// is idempotent on the name only insofar as re-adding updates the auth
+// token; plan and state of an existing campaign are left untouched.
+func (m *Manager) AddCampaign(name string, cfg CampaignConfig) error {
+	if !validCampaignName(name) {
+		return fmt.Errorf("dist: invalid campaign name %q", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.camps[name]; ok {
+		c.cfg.Token = cfg.Token
+		return nil
+	}
+	c := newCampaign(m, name, cfg)
+	if m.cfg.StateDir != "" {
+		if err := c.openStateLocked(); err != nil {
+			return err
+		}
+	}
+	m.camps[name] = c
+	m.order = append(m.order, name)
+	m.do.campaigns.Set(float64(len(m.camps)))
+	m.do.campaignEpoch.With(name).Set(float64(c.epoch))
+	m.setGaugesLocked()
+	return nil
+}
+
+// Campaigns returns the hosted campaign names in creation order.
+func (m *Manager) Campaigns() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.order...)
+}
+
+// ExportCampaign streams the named campaign's snapshot (corpus, reports,
+// completed shards, plan, epoch — everything but auth tokens) to w, the
+// drain half of drain/relaunch. The fleet may keep running; the export
+// is a point-in-time copy.
+func (m *Manager) ExportCampaign(name string, w io.Writer) error {
+	m.mu.Lock()
+	c := m.campLocked(name)
+	if c == nil {
+		m.mu.Unlock()
+		return fmt.Errorf("dist: unknown campaign %q", name)
+	}
+	snap := c.buildSnapshotLocked()
+	m.mu.Unlock()
+	m.do.ev.Info(0, "dist.export", map[string]any{
+		"campaign": snap.Name, "corpus": len(snap.Completed), "reports": len(snap.Reports),
+	})
+	return writeSnapshotTo(w, snap)
+}
+
+// ImportCampaign reads a snapshot from r and hosts it under its recorded
+// name (overwriting a hosted campaign's state if the name collides), the
+// relaunch half of drain/relaunch. The importing manager's state
+// directory, if any, immediately persists the imported state; the token
+// argument guards the relaunched campaign.
+func (m *Manager) ImportCampaign(r io.Reader, token string) (string, error) {
+	snap, err := decodeSnapshot(r)
+	if err != nil {
+		return "", err
+	}
+	if !validCampaignName(snap.Name) {
+		return "", fmt.Errorf("dist: snapshot has invalid campaign name %q", snap.Name)
+	}
+	m.mu.Lock()
+	c := m.campLocked(snap.Name)
+	if c == nil {
+		c = newCampaign(m, snap.Name, CampaignConfig{Token: token})
+		m.camps[snap.Name] = c
+		m.order = append(m.order, snap.Name)
+	}
+	c.cfg.Token = token
+	c.restoreSnapshotLocked(snap)
+	c.epoch++
+	c.requeueIncompleteLocked()
+	if m.cfg.StateDir != "" {
+		if c.wal == nil {
+			if err := c.openStateLocked(); err != nil {
+				m.mu.Unlock()
+				return "", err
+			}
+		}
+		c.snapshotLocked()
+		c.journalLocked(walEpoch, walEpochD{Epoch: c.epoch})
+	}
+	m.do.campaigns.Set(float64(len(m.camps)))
+	m.do.campaignEpoch.With(snap.Name).Set(float64(c.epoch))
+	m.setGaugesLocked()
+	m.mu.Unlock()
+	m.do.ev.Info(0, "dist.import", map[string]any{
+		"campaign": snap.Name, "epoch": snap.Epoch + 1,
+		"reports": len(snap.Reports), "completed": len(snap.Completed),
+	})
+	return snap.Name, nil
+}
+
+// Close snapshots and closes every durable campaign's WAL. A manager
+// that is not durable ignores Close.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var first error
+	for _, name := range m.order {
+		c := m.camps[name]
+		if c.wal == nil {
+			continue
+		}
+		c.snapshotLocked()
+		if c.wal != nil {
+			if err := c.wal.close(); err != nil && first == nil {
+				first = err
+			}
+			c.wal = nil
+		}
+	}
+	return first
+}
+
+// campLocked resolves a campaign name (empty = default); nil if unknown.
+func (m *Manager) campLocked(name string) *campaign {
+	if name == "" {
+		name = DefaultCampaign
+	}
+	return m.camps[name]
+}
+
+// def returns the default campaign (always hosted).
+func (m *Manager) def() *campaign {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.camps[DefaultCampaign]
 }
 
 // Obs returns the registry the manager publishes fabric metrics into.
 func (m *Manager) Obs() *obs.Registry { return m.do.reg }
 
-// Done reports whether every shard has completed.
+// Done reports whether every shard of the default campaign has completed.
 func (m *Manager) Done() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.completed == len(m.shards)
+	return m.camps[DefaultCampaign].doneLocked()
 }
 
-// WorkersConnected returns the number of currently registered workers.
+// AllDone reports whether every hosted campaign has completed.
+func (m *Manager) AllDone() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.camps {
+		if !c.doneLocked() {
+			return false
+		}
+	}
+	return true
+}
+
+// Epoch returns the default campaign's registration epoch (1 on a fresh
+// campaign, +1 per restore).
+func (m *Manager) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.camps[DefaultCampaign].epoch
+}
+
+// WorkersConnected returns the number of currently registered workers
+// across all campaigns.
 func (m *Manager) WorkersConnected() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := 0
-	for _, w := range m.workers {
-		if w.connected {
-			n++
-		}
+	for _, c := range m.camps {
+		n += c.connectedLocked()
 	}
 	return n
 }
 
-// ShardsCompleted returns how many shards have finished.
+// ShardsCompleted returns how many default-campaign shards have finished.
 func (m *Manager) ShardsCompleted() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.completed
+	return m.camps[DefaultCampaign].completed
 }
 
-// ShardsTotal returns the shard plan's size.
+// ShardsTotal returns the default campaign's shard plan size.
 func (m *Manager) ShardsTotal() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.shards)
+	return len(m.camps[DefaultCampaign].shards)
 }
 
-// WorkersSeen returns how many workers ever registered (including ones
-// that since deregistered or died).
+// WorkersSeen returns how many workers ever registered with the default
+// campaign (including ones that since deregistered or died).
 func (m *Manager) WorkersSeen() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.nextWorker
+	return m.camps[DefaultCampaign].nextWorker
 }
 
-// Reports returns the globally deduplicated findings in first-seen order.
+// Reports returns the default campaign's globally deduplicated findings
+// in first-seen order.
 func (m *Manager) Reports() []*report.Report {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.reports.All()
+	return m.camps[DefaultCampaign].reports.All()
 }
 
-// ReportTitles returns the sorted unique global crash titles.
+// ReportTitles returns the default campaign's sorted unique crash titles.
 func (m *Manager) ReportTitles() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.reports.Titles()
+	return m.camps[DefaultCampaign].reports.Titles()
 }
 
-// CorpusLen returns the merged global corpus size.
+// CorpusLen returns the default campaign's merged global corpus size.
 func (m *Manager) CorpusLen() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.corpusOrder)
+	return len(m.camps[DefaultCampaign].corpusOrder)
 }
 
-// CorpusKeyHashes returns the merged corpus's key hashes in first-seen
-// order (testing and tooling).
+// CorpusKeyHashes returns the default campaign's merged corpus key hashes
+// in first-seen order (testing and tooling).
 func (m *Manager) CorpusKeyHashes() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return append([]string(nil), m.corpusOrder...)
+	return append([]string(nil), m.camps[DefaultCampaign].corpusOrder...)
 }
 
-// WriteCorpus streams the merged global corpus to w in the corpus
-// encoding, first-seen order.
+// WriteCorpus streams the default campaign's merged global corpus to w in
+// the corpus encoding, first-seen order.
 func (m *Manager) WriteCorpus(w io.Writer) error {
 	m.mu.Lock()
-	progs := make([]*syzlang.Program, 0, len(m.corpusOrder))
-	for _, h := range m.corpusOrder {
-		progs = append(progs, m.corpus[h])
+	c := m.camps[DefaultCampaign]
+	progs := make([]*syzlang.Program, 0, len(c.corpusOrder))
+	for _, h := range c.corpusOrder {
+		progs = append(progs, c.corpus[h])
 	}
 	m.mu.Unlock()
 	return core.EncodePrograms(w, progs)
@@ -325,18 +499,70 @@ func (m *Manager) timed(h *obs.Histogram, fn http.HandlerFunc) http.HandlerFunc 
 	}
 }
 
-// checkVersion rejects protocol mismatches; reports whether the request
-// may proceed.
+// negotiate returns the protocol version to answer a request with.
+func negotiate(reqV int) int {
+	if reqV < ProtocolVersion {
+		return reqV
+	}
+	return ProtocolVersion
+}
+
+// checkVersion rejects protocol versions outside the accepted window;
+// reports whether the request may proceed.
 func checkVersion(w http.ResponseWriter, v int) bool {
-	if v != ProtocolVersion {
+	if v < MinProtocolVersion || v > ProtocolVersion {
 		writeError(w, http.StatusBadRequest,
-			"protocol version %d, manager speaks %d", v, ProtocolVersion)
+			"protocol version %d, manager speaks %d..%d", v, MinProtocolVersion, ProtocolVersion)
 		return false
 	}
 	return true
 }
 
-// handleRegister admits a worker and ships the campaign spec.
+// resolveLocked authenticates a request's (campaign, token, epoch)
+// triple, writing the error reply and returning nil on failure. Version
+// 1 clients carry no epoch; their epoch 0 is only accepted while the
+// campaign is still in its first epoch, so legacy workers are fenced off
+// exactly when state actually moved under them.
+func (m *Manager) resolveLocked(w http.ResponseWriter, campaignName, token string, epoch uint64, checkEpoch bool) *campaign {
+	c := m.campLocked(campaignName)
+	if c == nil {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", campaignName)
+		return nil
+	}
+	if c.cfg.Token != "" && token != c.cfg.Token {
+		writeError(w, http.StatusForbidden, "campaign %q: bad or missing token", c.name)
+		return nil
+	}
+	if checkEpoch {
+		want := c.epoch
+		if epoch == 0 && want == 1 {
+			epoch = 1 // v1 clients on a never-restarted campaign
+		}
+		if epoch != want {
+			writeError(w, http.StatusGone,
+				"stale epoch %d for campaign %q (current %d): re-register", epoch, c.name, want)
+			return nil
+		}
+	}
+	return c
+}
+
+// setGaugesLocked refreshes the cross-campaign worker and pending-shard
+// gauges; caller holds m.mu.
+func (m *Manager) setGaugesLocked() {
+	workers, pending := 0, 0
+	for _, c := range m.camps {
+		workers += c.connectedLocked()
+		pending += len(c.pending)
+	}
+	m.do.workers.Set(float64(workers))
+	m.do.leasesPending.Set(float64(pending))
+}
+
+// handleRegister admits a worker and ships the campaign spec. A
+// re-registration (PrevWorkerID set) eagerly releases the previous
+// incarnation's leases instead of letting them block their shards until
+// the TTL sweep.
 func (m *Manager) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
 	if err := readJSON(r, &req); err != nil {
@@ -347,49 +573,38 @@ func (m *Manager) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m.mu.Lock()
-	m.nextWorker++
-	id := m.nextWorker
-	m.workers[id] = &workerState{
-		id: id, name: req.Name, lastSeen: m.now(),
-		connected: true, leases: make(map[uint64]struct{}),
+	c := m.resolveLocked(w, req.Campaign, req.Token, 0, false)
+	if c == nil {
+		m.mu.Unlock()
+		return
 	}
+	id, requeued := c.registerLocked(req.Name, req.PrevWorkerID)
+	epoch := c.epoch
+	spec := c.cfg.Campaign
 	m.do.registrations.Inc()
-	m.setWorkerGaugeLocked()
+	m.setGaugesLocked()
 	m.mu.Unlock()
-	m.do.ev.Info(id, "dist.register", map[string]any{"name": req.Name})
+	m.do.ev.Info(id, "dist.register", map[string]any{
+		"campaign": c.name, "name": req.Name,
+		"prev_worker": req.PrevWorkerID, "prev_epoch": req.PrevEpoch,
+	})
+	for _, shard := range requeued {
+		m.do.ev.Warn(req.PrevWorkerID, "dist.lease_reassign", map[string]any{
+			"campaign": c.name, "shard": shard, "cause": "re-register",
+		})
+	}
 	writeJSON(w, http.StatusOK, RegisterResponse{
-		V:           ProtocolVersion,
+		V:           negotiate(req.V),
 		WorkerID:    id,
-		Campaign:    m.cfg.Campaign,
+		Epoch:       epoch,
+		Campaign:    spec,
 		HeartbeatMS: m.cfg.HeartbeatEvery.Milliseconds(),
 	})
 }
 
-// setWorkerGaugeLocked refreshes ozz_dist_workers_connected; caller holds
-// m.mu.
-func (m *Manager) setWorkerGaugeLocked() {
-	n := 0
-	for _, ws := range m.workers {
-		if ws.connected {
-			n++
-		}
-	}
-	m.do.workers.Set(float64(n))
-}
-
-// touchLocked refreshes a worker's liveness; caller holds m.mu. Returns
-// nil for unknown or dead workers.
-func (m *Manager) touchLocked(id int) *workerState {
-	ws := m.workers[id]
-	if ws == nil || !ws.connected {
-		return nil
-	}
-	ws.lastSeen = m.now()
-	return ws
-}
-
-// handlePoll sweeps expired state, acknowledges completions, and grants a
-// lease when a shard is pending.
+// handlePoll sweeps expired state, acknowledges completions, and grants
+// a dynamically sized lease batch (or a stolen duplicate lease) when
+// work is available.
 func (m *Manager) handlePoll(w http.ResponseWriter, r *http.Request) {
 	var req PollRequest
 	if err := readJSON(r, &req); err != nil {
@@ -401,138 +616,117 @@ func (m *Manager) handlePoll(w http.ResponseWriter, r *http.Request) {
 	}
 	m.sweep()
 	m.mu.Lock()
-	ws := m.touchLocked(req.WorkerID)
+	c := m.resolveLocked(w, req.Campaign, req.Token, req.Epoch, true)
+	if c == nil {
+		m.mu.Unlock()
+		return
+	}
+	ws := c.touchLocked(req.WorkerID)
 	if ws == nil {
 		m.mu.Unlock()
 		writeError(w, http.StatusGone, "unknown worker %d: re-register", req.WorkerID)
 		return
 	}
 	for _, id := range req.Completed {
-		m.completeLocked(ws, id)
+		c.completeLocked(ws, id)
 	}
-	resp := PollResponse{V: ProtocolVersion}
-	switch {
-	case m.completed == len(m.shards):
+	resp := PollResponse{V: negotiate(req.V)}
+	var stolen bool
+	if c.doneLocked() {
 		resp.Done = true
-	case len(m.pending) > 0:
-		idx := m.pending[0]
-		m.pending = m.pending[1:]
-		m.nextLease++
-		ls := &leaseState{
-			id: m.nextLease, shard: idx, worker: ws.id,
-			expiry: m.now().Add(m.cfg.LeaseTTL),
+	} else {
+		var granted []*Lease
+		granted, stolen = c.grantLocked(ws)
+		if req.V < 2 && len(granted) > 1 {
+			// A v1 client reads a single lease; return the rest.
+			for _, l := range granted[1:] {
+				c.ungrantLocked(l.ID)
+			}
+			granted = granted[:1]
 		}
-		m.inflight[ls.id] = ls
-		m.leaseByID[ls.id] = idx
-		ws.leases[ls.id] = struct{}{}
-		sh := m.shards[idx].shard
-		resp.Lease = &Lease{
-			ID: ls.id, Shard: sh.Index, Seed: sh.Seed, Steps: sh.Steps,
-			TTLMS: m.cfg.LeaseTTL.Milliseconds(),
+		if len(granted) > 0 {
+			resp.Leases = granted
+			resp.Lease = granted[0]
+		} else {
+			resp.RetryMS = (m.cfg.HeartbeatEvery / 2).Milliseconds()
 		}
-		m.do.leasesGranted.Inc()
-		m.do.leasesPending.Set(float64(len(m.pending)))
-	default:
-		resp.RetryMS = (m.cfg.HeartbeatEvery / 2).Milliseconds()
 	}
+	m.setGaugesLocked()
 	m.mu.Unlock()
-	if resp.Lease != nil {
-		m.do.ev.Info(req.WorkerID, "dist.lease_grant", map[string]any{
-			"lease": resp.Lease.ID, "shard": resp.Lease.Shard,
-			"seed": resp.Lease.Seed, "steps": resp.Lease.Steps,
+	for _, l := range resp.Leases {
+		kind := "dist.lease_grant"
+		if stolen {
+			kind = "dist.steal.grant"
+		}
+		m.do.ev.Info(req.WorkerID, kind, map[string]any{
+			"campaign": c.name, "lease": l.ID, "shard": l.Shard,
+			"seed": l.Seed, "steps": l.Steps,
 		})
 	}
-	m.maybeEmitDone()
+	m.maybeEmitDone(c)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// completeLocked marks a lease's shard done; caller holds m.mu. Stale
-// lease IDs (already reassigned) still complete their shard — the shard
-// result is deterministic, so whoever finishes first wins and the rerun
-// is a harmless duplicate.
-func (m *Manager) completeLocked(ws *workerState, leaseID uint64) {
-	idx, ok := m.leaseByID[leaseID]
-	if !ok {
+// ungrantLocked retracts a just-granted lease (v1 batch downgrade),
+// returning its shard to the head of the queue.
+func (c *campaign) ungrantLocked(leaseID uint64) {
+	ls := c.inflight[leaseID]
+	if ls == nil {
 		return
 	}
-	if ls := m.inflight[leaseID]; ls != nil {
-		delete(m.inflight, leaseID)
-		if owner := m.workers[ls.worker]; owner != nil {
-			delete(owner.leases, leaseID)
-		}
+	delete(c.inflight, leaseID)
+	delete(c.leaseByID, leaseID)
+	if owner := c.workers[ls.worker]; owner != nil {
+		delete(owner.leases, leaseID)
 	}
-	delete(ws.leases, leaseID)
-	st := m.shards[idx]
-	if st.completed {
-		return
+	if !ls.stolen && !c.shards[ls.shard].completed {
+		c.pending = append([]int{ls.shard}, c.pending...)
 	}
-	st.completed = true
-	m.completed++
-	m.do.leasesCompleted.Inc()
-	// The shard may have been requeued (expiry raced completion): drop it
-	// from pending, and retire any other in-flight lease on it.
-	for i, p := range m.pending {
-		if p == idx {
-			m.pending = append(m.pending[:i], m.pending[i+1:]...)
-			m.do.leasesPending.Set(float64(len(m.pending)))
-			break
-		}
-	}
-	for id, ls := range m.inflight {
-		if ls.shard == idx {
-			delete(m.inflight, id)
-			if owner := m.workers[ls.worker]; owner != nil {
-				delete(owner.leases, id)
-			}
-		}
-	}
-	m.do.ev.Info(ws.id, "dist.lease_complete", map[string]any{
-		"lease": leaseID, "shard": idx, "done": m.completed, "total": len(m.shards),
-	})
 }
 
-// sweep requeues expired leases and declares silent workers dead. It runs
-// lazily at the top of every poll/sync/heartbeat, so liveness advances as
-// long as any worker keeps talking; tests may call it directly.
+// sweep requeues expired leases and declares silent workers dead, across
+// every campaign. It runs lazily at the top of every poll/sync/heartbeat,
+// so liveness advances as long as any worker keeps talking; tests may
+// call it directly.
 func (m *Manager) sweep() {
 	type reassigned struct {
-		lease  uint64
-		shard  int
-		worker int
+		campaign string
+		lease    uint64
+		shard    int
+		worker   int
 	}
 	var (
-		now  = time.Time{}
-		dead []int
-		res  []reassigned
+		dead     []int
+		deadline time.Duration
+		res      []reassigned
 	)
 	m.mu.Lock()
-	now = m.now()
-	deadline := time.Duration(m.cfg.HeartbeatMisses) * m.cfg.HeartbeatEvery
-	for id, ws := range m.workers {
-		if ws.connected && now.Sub(ws.lastSeen) > deadline {
-			ws.connected = false
-			dead = append(dead, id)
-			m.do.heartbeatMisses.Inc()
-		}
-	}
-	for id, ls := range m.inflight {
-		owner := m.workers[ls.worker]
-		if now.After(ls.expiry) || owner == nil || !owner.connected {
-			delete(m.inflight, id)
-			if owner != nil {
-				delete(owner.leases, id)
-			}
-			if !m.shards[ls.shard].completed {
-				m.pending = append(m.pending, ls.shard)
-				m.do.leaseReassigns.Inc()
-				res = append(res, reassigned{lease: id, shard: ls.shard, worker: ls.worker})
+	now := m.now()
+	deadline = time.Duration(m.cfg.HeartbeatMisses) * m.cfg.HeartbeatEvery
+	for _, c := range m.camps {
+		for id, ws := range c.workers {
+			if ws.connected && now.Sub(ws.lastSeen) > deadline {
+				ws.connected = false
+				dead = append(dead, id)
+				m.do.heartbeatMisses.Inc()
 			}
 		}
+		for id, ls := range c.inflight {
+			owner := c.workers[ls.worker]
+			if now.After(ls.expiry) || owner == nil || !owner.connected {
+				delete(c.inflight, id)
+				if owner != nil {
+					delete(owner.leases, id)
+				}
+				if !c.shards[ls.shard].completed {
+					c.pending = append(c.pending, ls.shard)
+					m.do.leaseReassigns.Inc()
+					res = append(res, reassigned{campaign: c.name, lease: id, shard: ls.shard, worker: ls.worker})
+				}
+			}
+		}
 	}
-	if len(dead) > 0 {
-		m.setWorkerGaugeLocked()
-	}
-	m.do.leasesPending.Set(float64(len(m.pending)))
+	m.setGaugesLocked()
 	m.mu.Unlock()
 	for _, id := range dead {
 		m.do.ev.Warn(id, "dist.worker_dead", map[string]any{
@@ -541,24 +735,28 @@ func (m *Manager) sweep() {
 	}
 	for _, r := range res {
 		m.do.ev.Warn(r.worker, "dist.lease_reassign", map[string]any{
-			"lease": r.lease, "shard": r.shard,
+			"campaign": r.campaign, "lease": r.lease, "shard": r.shard, "cause": "expired",
 		})
 	}
 }
 
-// maybeEmitDone emits the dist.done event exactly once, when the last
-// shard completes.
-func (m *Manager) maybeEmitDone() {
+// maybeEmitDone emits the dist.done event exactly once per campaign,
+// when its last shard completes, and compacts a durable campaign's final
+// state.
+func (m *Manager) maybeEmitDone(c *campaign) {
 	m.mu.Lock()
-	fire := m.completed == len(m.shards) && !m.doneEmitted
+	fire := c.doneLocked() && !c.doneEmitted
 	if fire {
-		m.doneEmitted = true
+		c.doneEmitted = true
+		if c.wal != nil {
+			c.snapshotLocked()
+		}
 	}
-	shards, reports, corpus := len(m.shards), m.reports.Len(), len(m.corpusOrder)
+	shards, reports, corpus := len(c.shards), c.reports.Len(), len(c.corpusOrder)
 	m.mu.Unlock()
 	if fire {
 		m.do.ev.Info(0, "dist.done", map[string]any{
-			"shards": shards, "reports": reports, "corpus": corpus,
+			"campaign": c.name, "shards": shards, "reports": reports, "corpus": corpus,
 		})
 	}
 }
@@ -576,7 +774,12 @@ func (m *Manager) handleSync(w http.ResponseWriter, r *http.Request) {
 	}
 	m.sweep()
 	m.mu.Lock()
-	ws := m.touchLocked(req.WorkerID)
+	c := m.resolveLocked(w, req.Campaign, req.Token, req.Epoch, true)
+	if c == nil {
+		m.mu.Unlock()
+		return
+	}
+	ws := c.touchLocked(req.WorkerID)
 	if ws == nil && !req.Deregister {
 		m.mu.Unlock()
 		writeError(w, http.StatusGone, "unknown worker %d: re-register", req.WorkerID)
@@ -586,19 +789,15 @@ func (m *Manager) handleSync(w http.ResponseWriter, r *http.Request) {
 	// validate and dedup regardless of what arrived).
 	recvProgs := 0
 	if req.Programs != "" {
-		progs, _ := core.DecodePrograms(strings.NewReader(req.Programs), m.target)
+		progs, _ := core.DecodePrograms(strings.NewReader(req.Programs), c.target)
 		for _, p := range progs {
-			h := progHash(p)
-			if _, dup := m.corpus[h]; dup {
-				continue
+			if c.admitProgramLocked(p, true) {
+				recvProgs++
 			}
-			m.corpus[h] = p
-			m.corpusOrder = append(m.corpusOrder, h)
-			recvProgs++
 		}
 		m.do.syncBytesIn.Add(uint64(len(req.Programs)))
 		m.do.syncProgsIn.Add(uint64(recvProgs))
-		m.do.corpusProgs.Set(float64(len(m.corpusOrder)))
+		m.do.corpusProgs.Set(float64(len(c.corpusOrder)))
 	}
 	// Diff the worker's advertisement against the global corpus.
 	workerHas := make(map[string]struct{}, len(req.Keys))
@@ -607,15 +806,15 @@ func (m *Manager) handleSync(w http.ResponseWriter, r *http.Request) {
 	}
 	var want []string
 	for _, k := range req.Keys {
-		if _, ok := m.corpus[k]; !ok {
+		if _, ok := c.corpus[k]; !ok {
 			want = append(want, k)
 		}
 	}
 	sort.Strings(want)
 	var toSend []*syzlang.Program
-	for _, h := range m.corpusOrder {
+	for _, h := range c.corpusOrder {
 		if _, ok := workerHas[h]; !ok {
-			toSend = append(toSend, m.corpus[h])
+			toSend = append(toSend, c.corpus[h])
 		}
 	}
 	var payload strings.Builder
@@ -627,20 +826,20 @@ func (m *Manager) handleSync(w http.ResponseWriter, r *http.Request) {
 	if req.Deregister && ws != nil {
 		ws.connected = false
 		for id := range ws.leases {
-			if ls := m.inflight[id]; ls != nil {
-				delete(m.inflight, id)
-				if !m.shards[ls.shard].completed {
-					m.pending = append(m.pending, ls.shard)
+			if ls := c.inflight[id]; ls != nil {
+				delete(c.inflight, id)
+				if !c.shards[ls.shard].completed {
+					c.pending = append(c.pending, ls.shard)
 					m.do.leaseReassigns.Inc()
 				}
 			}
 			delete(ws.leases, id)
 		}
-		m.setWorkerGaugeLocked()
-		m.do.leasesPending.Set(float64(len(m.pending)))
 	}
+	m.setGaugesLocked()
 	m.mu.Unlock()
 	m.do.ev.Info(req.WorkerID, "dist.sync", map[string]any{
+		"campaign": c.name,
 		"recv_programs": recvProgs, "sent_programs": len(toSend),
 		"recv_bytes": len(req.Programs), "sent_bytes": payload.Len(),
 		"want": len(want), "deregister": req.Deregister,
@@ -649,11 +848,12 @@ func (m *Manager) handleSync(w http.ResponseWriter, r *http.Request) {
 		m.do.ev.Info(req.WorkerID, "dist.deregister", nil)
 	}
 	writeJSON(w, http.StatusOK, SyncResponse{
-		V: ProtocolVersion, Programs: payload.String(), Want: want,
+		V: negotiate(req.V), Programs: payload.String(), Want: want,
 	})
 }
 
-// handleReport merges worker findings into the global deduplicated set.
+// handleReport merges worker findings into the campaign's global
+// deduplicated set.
 func (m *Manager) handleReport(w http.ResponseWriter, r *http.Request) {
 	var req ReportRequest
 	if err := readJSON(r, &req); err != nil {
@@ -664,18 +864,22 @@ func (m *Manager) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m.mu.Lock()
-	if ws := m.touchLocked(req.WorkerID); ws == nil {
+	c := m.resolveLocked(w, req.Campaign, req.Token, req.Epoch, true)
+	if c == nil {
+		m.mu.Unlock()
+		return
+	}
+	if ws := c.touchLocked(req.WorkerID); ws == nil {
 		m.mu.Unlock()
 		writeError(w, http.StatusGone, "unknown worker %d: re-register", req.WorkerID)
 		return
 	}
-	incoming := report.NewSet()
+	added := 0
 	for _, rep := range req.Reports {
-		if rep != nil && rep.Title != "" {
-			incoming.Add(rep)
+		if rep != nil && rep.Title != "" && c.admitReportLocked(rep, true) {
+			added++
 		}
 	}
-	added := m.reports.Merge(incoming)
 	dup := len(req.Reports) - added
 	m.do.reportsNew.Add(uint64(added))
 	if dup > 0 {
@@ -683,9 +887,9 @@ func (m *Manager) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	m.mu.Unlock()
 	m.do.ev.Info(req.WorkerID, "dist.report", map[string]any{
-		"received": len(req.Reports), "added": added,
+		"campaign": c.name, "received": len(req.Reports), "added": added,
 	})
-	writeJSON(w, http.StatusOK, ReportResponse{V: ProtocolVersion, Added: added})
+	writeJSON(w, http.StatusOK, ReportResponse{V: negotiate(req.V), Added: added})
 }
 
 // handleHeartbeat renews worker liveness and its leases.
@@ -700,17 +904,22 @@ func (m *Manager) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	m.sweep()
 	m.mu.Lock()
-	ws := m.touchLocked(req.WorkerID)
+	c := m.resolveLocked(w, req.Campaign, req.Token, req.Epoch, true)
+	if c == nil {
+		m.mu.Unlock()
+		return
+	}
+	ws := c.touchLocked(req.WorkerID)
 	ok := ws != nil
 	if ok {
 		for _, id := range req.Leases {
-			if ls := m.inflight[id]; ls != nil && ls.worker == ws.id {
+			if ls := c.inflight[id]; ls != nil && ls.worker == ws.id {
 				ls.expiry = m.now().Add(m.cfg.LeaseTTL)
 			}
 		}
 	}
 	m.mu.Unlock()
-	writeJSON(w, http.StatusOK, HeartbeatResponse{V: ProtocolVersion, OK: ok})
+	writeJSON(w, http.StatusOK, HeartbeatResponse{V: negotiate(req.V), OK: ok})
 }
 
 // RunShardsLocal executes the manager configuration's whole shard plan

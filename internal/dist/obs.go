@@ -35,6 +35,19 @@ type distObs struct {
 
 	corpusProgs             *obs.Gauge
 	reportsNew, reportsDup  *obs.Counter
+
+	// Durability (write-ahead log + snapshots).
+	walRecords  map[string]*obs.Counter // by record type
+	walBytes    *obs.Counter
+	walReplays  *obs.Counter
+	walReplayed *obs.Counter
+	walTorn     *obs.Counter
+	walSnaps    *obs.Counter
+
+	// Elasticity (work stealing) and multi-tenancy.
+	stealGrants, stealWins *obs.Counter
+	campaigns              *obs.Gauge
+	campaignEpoch          *obs.GaugeVec
 }
 
 // newDistObs registers the fabric's metric families on reg (creating every
@@ -86,6 +99,32 @@ func newDistObs(reg *obs.Registry, ev *obs.EventLog) *distObs {
 		"Report-set merge attempts at the manager's global dedup, by outcome.", "outcome")
 	d.reportsNew = outcomes.With("new")
 	d.reportsDup = outcomes.With("duplicate")
+
+	walRecs := reg.CounterVec("ozz_dist_wal_records_total",
+		"Write-ahead-log records appended, by record type (epoch, worker, complete, program, report).", "type")
+	d.walRecords = make(map[string]*obs.Counter, len(walRecordTypes))
+	for _, t := range walRecordTypes {
+		d.walRecords[t] = walRecs.With(t)
+	}
+	d.walBytes = reg.Counter("ozz_dist_wal_bytes_total",
+		"Bytes appended to campaign write-ahead logs (including record framing).")
+	d.walReplays = reg.Counter("ozz_dist_wal_replays_total",
+		"Campaign recoveries that restored prior state from a snapshot and/or write-ahead log at manager start.")
+	d.walReplayed = reg.Counter("ozz_dist_wal_replayed_records_total",
+		"Write-ahead-log records applied during recovery replays.")
+	d.walTorn = reg.Counter("ozz_dist_wal_torn_records_total",
+		"Torn write-ahead-log tails (a record truncated mid-append by a crash) dropped during recovery.")
+	d.walSnaps = reg.Counter("ozz_dist_wal_snapshots_total",
+		"Campaign snapshots written (periodic compactions plus explicit exports to the state directory).")
+
+	d.stealGrants = reg.Counter("ozz_dist_steal_grants_total",
+		"Duplicate leases granted by work stealing: an idle worker re-running an in-flight shard because the pending queue was empty.")
+	d.stealWins = reg.Counter("ozz_dist_steal_wins_total",
+		"Stolen leases that completed their shard before the original holder did.")
+	d.campaigns = reg.Gauge("ozz_dist_campaigns",
+		"Campaigns hosted by this manager.")
+	d.campaignEpoch = reg.GaugeVec("ozz_dist_campaign_epoch",
+		"Current registration epoch of each hosted campaign (bumped on every crash-restart recovery).", "campaign")
 	return d
 }
 

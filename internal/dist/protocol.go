@@ -19,12 +19,25 @@
 //     derived seed alone, so the union of shard results is independent of
 //     which worker runs which shard, and a 1-manager/N-worker campaign
 //     finds exactly the deduplicated report titles of a standalone run
-//     over the same shard plan (see RunShardsLocal).
+//     over the same shard plan (see RunShardsLocal). Determinism also
+//     makes duplicate execution harmless, which is what lease
+//     reassignment, work stealing, and crash-restart resume all lean on.
+//   - State is durable when asked: with a state directory configured the
+//     manager journals every admission (corpus program, report, shard
+//     completion, registration) to a CRC-checked write-ahead log and
+//     periodically compacts it into a snapshot; a restarted manager
+//     replays the log over the latest snapshot, bumps the campaign epoch,
+//     and workers transparently re-register (see wal.go and
+//     docs/DISTRIBUTED.md).
+//   - One manager hosts N named campaigns, each with its own shard plan,
+//     corpus, report set, epoch, and optional auth token; requests with
+//     an empty campaign name address DefaultCampaign.
 package dist
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -36,10 +49,23 @@ import (
 )
 
 // ProtocolVersion is the fabric's wire protocol version. Every request
-// carries it in the V field; the manager rejects mismatches with HTTP 400
-// and an ErrorResponse, so mixed-version fleets fail fast instead of
-// corrupting each other's state.
-const ProtocolVersion = 1
+// carries it in the V field. Version 2 added multi-tenancy (campaign
+// names and auth tokens), the epoch-stamped re-register handshake, and
+// lease batches; the manager still negotiates down to version 1 clients
+// (see MinProtocolVersion), which speak to the untokened default campaign
+// with single-lease grants and no epoch fencing.
+const ProtocolVersion = 2
+
+// MinProtocolVersion is the oldest protocol version the manager still
+// accepts. Requests outside [MinProtocolVersion, ProtocolVersion] are
+// rejected with HTTP 400 and an ErrorResponse, so incompatible fleets
+// fail fast instead of corrupting each other's state; versions inside the
+// window are answered at the requester's version.
+const MinProtocolVersion = 1
+
+// DefaultCampaign is the campaign name a request with an empty Campaign
+// field addresses — the single campaign of a pre-multi-tenancy fleet.
+const DefaultCampaign = "default"
 
 // Endpoint paths of the manager's HTTP API.
 const (
@@ -94,21 +120,41 @@ type Lease struct {
 	TTLMS int64 `json:"ttl_ms"`
 }
 
-// RegisterRequest introduces a worker to the manager.
+// RegisterRequest introduces a worker to the manager (or re-introduces
+// one whose previous incarnation died or outlived a manager restart).
 type RegisterRequest struct {
 	// V is the sender's protocol version.
 	V int `json:"v"`
 	// Name is a human-readable worker name for logs and events.
 	Name string `json:"name,omitempty"`
+	// Campaign names the campaign to join (empty = DefaultCampaign).
+	Campaign string `json:"campaign,omitempty"`
+	// Token authenticates against the campaign's auth token; required
+	// whenever the campaign has one, rejected requests get HTTP 403.
+	Token string `json:"token,omitempty"`
+	// PrevWorkerID is the worker identity of this client's previous
+	// incarnation, when it is re-registering after a crash, a manager
+	// restart, or an epoch mismatch. The manager eagerly releases the
+	// previous incarnation's leases back to the queue instead of letting
+	// them sit until the TTL sweep.
+	PrevWorkerID int `json:"prev_worker_id,omitempty"`
+	// PrevEpoch is the campaign epoch the previous incarnation was
+	// registered under (log/debug context for the handshake).
+	PrevEpoch uint64 `json:"prev_epoch,omitempty"`
 }
 
 // RegisterResponse assigns the worker its identity and the campaign.
 type RegisterResponse struct {
-	// V is the manager's protocol version.
+	// V is the negotiated protocol version.
 	V int `json:"v"`
-	// WorkerID is the manager-assigned worker identity (1-based); it tags
-	// the worker's records in the manager's event log.
+	// WorkerID is the manager-assigned worker identity (1-based per
+	// campaign); it tags the worker's records in the manager's event log.
 	WorkerID int `json:"worker_id"`
+	// Epoch is the campaign's current registration epoch. It increments
+	// every time a manager restarts the campaign from persistent state;
+	// every subsequent request must echo it, and a mismatch (HTTP 410)
+	// tells the worker to re-register.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Campaign is the campaign configuration to run shards under.
 	Campaign CampaignSpec `json:"campaign"`
 	// HeartbeatMS is how often the manager expects heartbeats.
@@ -121,17 +167,30 @@ type PollRequest struct {
 	V int `json:"v"`
 	// WorkerID is the registered worker identity.
 	WorkerID int `json:"worker_id"`
+	// Campaign names the campaign (empty = DefaultCampaign).
+	Campaign string `json:"campaign,omitempty"`
+	// Token authenticates against the campaign's auth token.
+	Token string `json:"token,omitempty"`
+	// Epoch echoes the registration epoch; a stale value gets HTTP 410.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Completed lists lease IDs the worker finished since its last poll.
 	Completed []uint64 `json:"completed,omitempty"`
 }
 
-// PollResponse grants a lease, asks the worker to retry later, or
+// PollResponse grants leases, asks the worker to retry later, or
 // declares the campaign done.
 type PollResponse struct {
-	// V is the manager's protocol version.
+	// V is the negotiated protocol version.
 	V int `json:"v"`
-	// Lease is the granted work unit, nil when none is available.
+	// Lease is the first granted work unit, nil when none is available.
+	// Version 1 clients read only this field; version 2 clients should
+	// prefer Leases.
 	Lease *Lease `json:"lease,omitempty"`
+	// Leases is the granted lease batch (version 2): the manager sizes it
+	// dynamically from the pending-shard backlog and the connected worker
+	// count, so a lone or fast worker drains several shards per round
+	// trip. Leases[0] == *Lease when both are set.
+	Leases []*Lease `json:"leases,omitempty"`
 	// Done reports that every shard has completed; the worker should
 	// perform a final sync and deregister.
 	Done bool `json:"done"`
@@ -148,6 +207,12 @@ type SyncRequest struct {
 	V int `json:"v"`
 	// WorkerID is the registered worker identity.
 	WorkerID int `json:"worker_id"`
+	// Campaign names the campaign (empty = DefaultCampaign).
+	Campaign string `json:"campaign,omitempty"`
+	// Token authenticates against the campaign's auth token.
+	Token string `json:"token,omitempty"`
+	// Epoch echoes the registration epoch; a stale value gets HTTP 410.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Keys lists the key hashes of every program the worker holds.
 	Keys []string `json:"keys,omitempty"`
 	// Programs carries, in the streaming corpus encoding, the program
@@ -179,6 +244,12 @@ type ReportRequest struct {
 	V int `json:"v"`
 	// WorkerID is the registered worker identity.
 	WorkerID int `json:"worker_id"`
+	// Campaign names the campaign (empty = DefaultCampaign).
+	Campaign string `json:"campaign,omitempty"`
+	// Token authenticates against the campaign's auth token.
+	Token string `json:"token,omitempty"`
+	// Epoch echoes the registration epoch; a stale value gets HTTP 410.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Reports are the findings, first-seen order preserved.
 	Reports []*report.Report `json:"reports"`
 }
@@ -197,6 +268,12 @@ type HeartbeatRequest struct {
 	V int `json:"v"`
 	// WorkerID is the registered worker identity.
 	WorkerID int `json:"worker_id"`
+	// Campaign names the campaign (empty = DefaultCampaign).
+	Campaign string `json:"campaign,omitempty"`
+	// Token authenticates against the campaign's auth token.
+	Token string `json:"token,omitempty"`
+	// Epoch echoes the registration epoch; a stale value gets HTTP 410.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Leases lists the lease IDs the worker currently holds; each is
 	// renewed for a fresh TTL.
 	Leases []uint64 `json:"leases,omitempty"`
@@ -248,8 +325,38 @@ func readJSON(r *http.Request, v any) error {
 	return dec.Decode(v)
 }
 
+// httpError is a non-200 manager reply, carrying the status code so the
+// worker can route on it: 410 means "re-register" (unknown worker or
+// stale epoch), 403 means the auth token is wrong (fatal), anything else
+// is a transient failure to retry with backoff.
+type httpError struct {
+	// status is the HTTP status code of the reply.
+	status int
+	// msg is the ErrorResponse body text (may be empty).
+	msg string
+	// url is the request URL, for context.
+	url string
+}
+
+// Error renders the failure with its status code.
+func (e *httpError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("dist: %s: %s (HTTP %d)", e.url, e.msg, e.status)
+	}
+	return fmt.Sprintf("dist: %s: HTTP %d", e.url, e.status)
+}
+
+// errStatus extracts the HTTP status from an httpError, 0 otherwise.
+func errStatus(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	return 0
+}
+
 // postJSON is the worker-side RPC helper: POST in as JSON, decode a 200
-// reply into out, surface ErrorResponse bodies as errors.
+// reply into out, surface ErrorResponse bodies as *httpError.
 func postJSON(client *http.Client, url string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
@@ -262,10 +369,8 @@ func postJSON(client *http.Client, url string, in, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var er ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			return fmt.Errorf("dist: %s: %s (HTTP %d)", url, er.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("dist: %s: HTTP %d", url, resp.StatusCode)
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return &httpError{status: resp.StatusCode, msg: er.Error, url: url}
 	}
 	if out == nil {
 		return nil

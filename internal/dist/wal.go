@@ -1,0 +1,304 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+
+	"ozz/internal/report"
+)
+
+// Durability layer: a per-campaign write-ahead log plus periodic
+// snapshots, stdlib-only, laid out as
+//
+//	<state-dir>/<campaign>/snapshot.json   last compacted full state
+//	<state-dir>/<campaign>/wal.log         records since that snapshot
+//
+// Every state change that must survive a manager crash — a corpus
+// program admission, a new global report, a shard completion, a worker
+// registration, an epoch bump — appends one walRecord line before the
+// handler replies. A restarted manager loads the snapshot, replays the
+// log over it, truncates any torn final record (a crash mid-append), and
+// bumps the epoch so workers re-register. Snapshots are written
+// atomically (temp file + rename) every ManagerConfig.SnapshotEvery
+// records and on demand for export, after which the log is reset.
+//
+// Leases are deliberately NOT journaled: shard execution is
+// deterministic, so requeueing every in-flight shard at recovery and
+// letting survivors re-run (or stale holders complete into the void) is
+// both simpler and exactly as correct as replaying grants would be.
+// Lease IDs are epoch-stamped (epoch<<32 | sequence) so an ID minted
+// before a restart can never collide with one minted after.
+
+// WAL record types, the T field of every walRecord line.
+const (
+	walEpoch    = "epoch"    // campaign (re)opened under a new epoch
+	walWorker   = "worker"   // a worker registered
+	walComplete = "complete" // a shard completed
+	walProgram  = "program"  // a corpus program was admitted
+	walReport   = "report"   // a new global report was merged
+)
+
+// walRecordTypes lists every record type, for metric pre-registration.
+var walRecordTypes = []string{walEpoch, walWorker, walComplete, walProgram, walReport}
+
+// walRecord is one WAL line: the record type, the CRC-32 (IEEE) of the
+// payload bytes, and the payload itself. A record whose payload fails the
+// checksum — or whose line is not valid JSON, or lacks its trailing
+// newline — marks the torn tail of the log; replay stops there and
+// truncates the file back to the last good record.
+type walRecord struct {
+	// T is the record type (walEpoch, walWorker, ...).
+	T string `json:"t"`
+	// CRC is the IEEE CRC-32 of the raw D bytes.
+	CRC uint32 `json:"crc"`
+	// D is the type-specific payload.
+	D json.RawMessage `json:"d"`
+}
+
+// walEpochD is the walEpoch payload.
+type walEpochD struct {
+	// Epoch is the epoch the campaign opened under.
+	Epoch uint64 `json:"epoch"`
+}
+
+// walWorkerD is the walWorker payload.
+type walWorkerD struct {
+	// ID is the assigned worker identity.
+	ID int `json:"id"`
+	// Name is the worker's advertised name.
+	Name string `json:"name,omitempty"`
+}
+
+// walCompleteD is the walComplete payload.
+type walCompleteD struct {
+	// Shard is the completed shard's index.
+	Shard int `json:"shard"`
+}
+
+// walProgramD is the walProgram payload.
+type walProgramD struct {
+	// Src is the program's canonical syzlang serialization.
+	Src string `json:"src"`
+}
+
+// wal is one campaign's open write-ahead log.
+type wal struct {
+	f       *os.File
+	path    string
+	records int // records appended since the last snapshot
+	do      *distObs
+}
+
+// openWAL opens (creating if needed) the campaign's log for appending.
+func openWAL(path string, do *distObs) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dist: open wal: %w", err)
+	}
+	return &wal{f: f, path: path, do: do}, nil
+}
+
+// append journals one record. Append failures are surfaced to the caller
+// (the campaign degrades to in-memory operation and warns, rather than
+// failing fleet traffic over a full disk).
+func (w *wal) append(t string, payload any) error {
+	d, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("dist: wal marshal %s: %w", t, err)
+	}
+	line, err := json.Marshal(walRecord{T: t, CRC: crc32.ChecksumIEEE(d), D: d})
+	if err != nil {
+		return fmt.Errorf("dist: wal marshal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("dist: wal append: %w", err)
+	}
+	w.records++
+	w.do.walRecords[t].Inc()
+	w.do.walBytes.Add(uint64(len(line)))
+	return nil
+}
+
+// reset truncates the log after a successful snapshot.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.records = 0
+	return nil
+}
+
+// close releases the file handle.
+func (w *wal) close() error { return w.f.Close() }
+
+// replayWAL reads the log at path, invoking apply for every intact record
+// in order. A torn tail — a final record that is truncated mid-line,
+// fails its checksum, or is not valid JSON — ends the replay and is
+// truncated away so the next append starts from a clean record boundary;
+// torn reports how many trailing bytes were dropped. A missing file
+// replays zero records. Only I/O failures are errors: torn tails are the
+// expected residue of a crash, not corruption to refuse.
+func replayWAL(path string, apply func(t string, d json.RawMessage)) (replayed int, torn int64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("dist: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	var good int64 // offset just past the last intact record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec walRecord
+		if json.Unmarshal(line, &rec) != nil || rec.CRC != crc32.ChecksumIEEE(rec.D) {
+			break
+		}
+		apply(rec.T, rec.D)
+		replayed++
+		good += int64(len(line)) + 1 // the consumed newline
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		return replayed, 0, fmt.Errorf("dist: wal replay: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return replayed, 0, err
+	}
+	if torn = st.Size() - good; torn > 0 {
+		if err := os.Truncate(path, good); err != nil {
+			return replayed, torn, fmt.Errorf("dist: truncate torn wal tail: %w", err)
+		}
+	}
+	return replayed, torn, nil
+}
+
+// SnapshotFormat is the CampaignSnapshot schema version.
+const SnapshotFormat = 1
+
+// SnapshotWorker is one registered worker in a snapshot.
+type SnapshotWorker struct {
+	// ID is the worker identity.
+	ID int `json:"id"`
+	// Name is the worker's advertised name.
+	Name string `json:"name,omitempty"`
+}
+
+// CampaignSnapshot is the complete durable state of one campaign: what a
+// manager needs to resume it after a crash, and the interchange format of
+// campaign export/import (cmd/ozz -mode manager -export / -import), so a
+// fleet can be drained on one machine and relaunched on another. Auth
+// tokens are intentionally absent — they belong to the hosting manager's
+// configuration, not to exported state.
+type CampaignSnapshot struct {
+	// Format is the schema version (SnapshotFormat).
+	Format int `json:"format"`
+	// Name is the campaign name.
+	Name string `json:"name"`
+	// Epoch is the registration epoch the snapshot was taken under; a
+	// manager restoring it opens at Epoch+1.
+	Epoch uint64 `json:"epoch"`
+	// Spec is the campaign configuration shipped to workers, including
+	// the memory model name.
+	Spec CampaignSpec `json:"spec"`
+	// TotalSteps, ShardSteps, and Seed reproduce the shard plan.
+	TotalSteps int   `json:"total_steps"`
+	ShardSteps int   `json:"shard_steps"`
+	Seed       int64 `json:"seed"`
+	// Completed lists the indexes of finished shards, ascending.
+	Completed []int `json:"completed,omitempty"`
+	// NextWorker is the highest worker ID ever assigned.
+	NextWorker int `json:"next_worker,omitempty"`
+	// Workers are the registered workers (restored disconnected; live
+	// ones re-register on their first stale-epoch reply).
+	Workers []SnapshotWorker `json:"workers,omitempty"`
+	// Corpus is the merged corpus in the streaming corpus encoding
+	// (core.EncodePrograms), first-seen order.
+	Corpus string `json:"corpus,omitempty"`
+	// Reports are the globally deduplicated findings, first-seen order.
+	Reports []*report.Report `json:"reports,omitempty"`
+}
+
+// writeSnapshotFile writes snap atomically: temp file in the same
+// directory, then rename.
+func writeSnapshotFile(path string, snap *CampaignSnapshot) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("dist: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(snap); err != nil {
+		tmp.Close()
+		return fmt.Errorf("dist: snapshot encode: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("dist: snapshot close: %w", err)
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// writeSnapshotTo streams a snapshot to an arbitrary writer (campaign
+// export).
+func writeSnapshotTo(w io.Writer, snap *CampaignSnapshot) error {
+	return json.NewEncoder(w).Encode(snap)
+}
+
+// decodeSnapshot reads one snapshot from r (campaign import), checking
+// the schema version.
+func decodeSnapshot(r io.Reader) (*CampaignSnapshot, error) {
+	var snap CampaignSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("dist: decode snapshot: %w", err)
+	}
+	if snap.Format != SnapshotFormat {
+		return nil, fmt.Errorf("dist: snapshot format %d, this build reads %d", snap.Format, SnapshotFormat)
+	}
+	return &snap, nil
+}
+
+// readSnapshotFile loads a snapshot, reporting (nil, nil) when none
+// exists yet.
+func readSnapshotFile(path string) (*CampaignSnapshot, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: read snapshot: %w", err)
+	}
+	var snap CampaignSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return nil, fmt.Errorf("dist: decode snapshot: %w", err)
+	}
+	if snap.Format != SnapshotFormat {
+		return nil, fmt.Errorf("dist: snapshot format %d, this build reads %d", snap.Format, SnapshotFormat)
+	}
+	return &snap, nil
+}
+
+// campaignNameRe bounds campaign names to filesystem-safe tokens, since
+// the name doubles as the state subdirectory.
+var campaignNameRe = regexp.MustCompile(`^[a-zA-Z0-9_][a-zA-Z0-9_.-]{0,63}$`)
+
+// validCampaignName reports whether name may be hosted (and persisted).
+func validCampaignName(name string) bool { return campaignNameRe.MatchString(name) }
+
+// campaignDir is the campaign's state subdirectory.
+func campaignDir(stateDir, name string) string { return filepath.Join(stateDir, name) }
+
+// snapshotPath and walPath locate the two durable files of a campaign.
+func snapshotPath(dir string) string { return filepath.Join(dir, "snapshot.json") }
+func walPath(dir string) string      { return filepath.Join(dir, "wal.log") }

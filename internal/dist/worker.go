@@ -33,6 +33,12 @@ type WorkerConfig struct {
 	ManagerURL string
 	// Name is the worker's human-readable name for the manager's logs.
 	Name string
+	// Campaign names the hosted campaign to join; empty joins the
+	// manager's default campaign.
+	Campaign string
+	// Token is the campaign's auth token, required when the manager was
+	// configured with one.
+	Token string
 	// PoolWorkers is the local pool width each lease runs at
 	// (0 = GOMAXPROCS).
 	PoolWorkers int
@@ -57,12 +63,13 @@ type Worker struct {
 	do     *distObs
 	client *http.Client
 
-	id             int
 	campaign       CampaignSpec
 	target         *syzlang.Target
 	heartbeatEvery time.Duration
 
 	mu          sync.Mutex
+	id          int    // assigned worker identity (rewritten on re-register)
+	epoch       uint64 // campaign epoch from the last (re-)register
 	rng         *rand.Rand
 	corpus      map[string]*syzlang.Program // key hash -> program
 	corpusOrder []string                    // key hashes in first-seen order
@@ -149,29 +156,57 @@ func (w *Worker) url(path string) string {
 	return strings.TrimRight(w.cfg.ManagerURL, "/") + path
 }
 
+// ident snapshots the worker's current (id, epoch) pair.
+func (w *Worker) ident() (int, uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id, w.epoch
+}
+
 // register introduces the worker, retrying with backoff until ctx dies.
+// A re-registration (the worker already had an identity — the manager
+// restarted under a new epoch, or forgot us) advertises the previous
+// (worker, epoch) pair so the manager can eagerly release the stale
+// incarnation's leases, and voids any leases held locally: their IDs are
+// fenced off by the epoch bump.
 func (w *Worker) register(ctx context.Context) error {
+	prevID, prevEpoch := w.ident()
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		start := time.Now()
 		var resp RegisterResponse
-		err := postJSON(w.client, w.url(PathRegister),
-			RegisterRequest{V: ProtocolVersion, Name: w.cfg.Name}, &resp)
+		err := postJSON(w.client, w.url(PathRegister), RegisterRequest{
+			V: ProtocolVersion, Name: w.cfg.Name,
+			Campaign: w.cfg.Campaign, Token: w.cfg.Token,
+			PrevWorkerID: prevID, PrevEpoch: prevEpoch,
+		}, &resp)
 		observe(w.do.httpRegister, start)
 		if err == nil {
+			epoch := resp.Epoch
+			if epoch == 0 {
+				epoch = 1 // v1 manager: single implicit epoch
+			}
+			w.mu.Lock()
 			w.id = resp.WorkerID
+			w.epoch = epoch
+			w.held = nil
+			w.mu.Unlock()
 			w.campaign = resp.Campaign
 			w.target = modules.Target(resp.Campaign.Modules...)
 			if resp.HeartbeatMS <= 0 {
 				resp.HeartbeatMS = 1000
 			}
 			w.heartbeatEvery = time.Duration(resp.HeartbeatMS) * time.Millisecond
-			w.do.ev.Info(w.id, "dist.register", map[string]any{
+			w.do.ev.Info(resp.WorkerID, "dist.register", map[string]any{
 				"manager": w.cfg.ManagerURL, "name": w.cfg.Name,
+				"campaign": w.cfg.Campaign, "epoch": epoch, "prev_worker": prevID,
 			})
 			return nil
+		}
+		if errStatus(err) == http.StatusForbidden {
+			return fmt.Errorf("dist: register rejected: %w", err)
 		}
 		w.do.ev.Warn(0, "dist.retry", map[string]any{"op": "register", "err": err.Error()})
 		sleep(ctx, w.backoff(attempt))
@@ -191,14 +226,18 @@ func (w *Worker) heartbeatLoop(ctx context.Context, stop <-chan struct{}) {
 		case <-t.C:
 			w.mu.Lock()
 			held := append([]uint64(nil), w.held...)
+			id, epoch := w.id, w.epoch
 			w.mu.Unlock()
 			start := time.Now()
 			var resp HeartbeatResponse
-			err := postJSON(w.client, w.url(PathHeartbeat),
-				HeartbeatRequest{V: ProtocolVersion, WorkerID: w.id, Leases: held}, &resp)
+			err := postJSON(w.client, w.url(PathHeartbeat), HeartbeatRequest{
+				V: ProtocolVersion, WorkerID: id, Leases: held,
+				Campaign: w.cfg.Campaign, Token: w.cfg.Token, Epoch: epoch,
+			}, &resp)
 			observe(w.do.httpHeartbeat, start)
-			if err != nil {
-				w.do.ev.Warn(w.id, "dist.retry", map[string]any{"op": "heartbeat", "err": err.Error()})
+			if err != nil && errStatus(err) != http.StatusGone {
+				// A stale-epoch reply is the poll loop's cue, not ours.
+				w.do.ev.Warn(id, "dist.retry", map[string]any{"op": "heartbeat", "err": err.Error()})
 			}
 		}
 	}
@@ -227,27 +266,48 @@ func (w *Worker) Run(ctx context.Context) error {
 			w.deregister()
 			return ctx.Err()
 		}
+		id, epoch := w.ident()
 		start := time.Now()
 		var resp PollResponse
-		err := postJSON(w.client, w.url(PathPoll),
-			PollRequest{V: ProtocolVersion, WorkerID: w.id, Completed: completed}, &resp)
+		err := postJSON(w.client, w.url(PathPoll), PollRequest{
+			V: ProtocolVersion, WorkerID: id, Completed: completed,
+			Campaign: w.cfg.Campaign, Token: w.cfg.Token, Epoch: epoch,
+		}, &resp)
 		observe(w.do.httpPoll, start)
-		if err != nil {
+		switch {
+		case err == nil:
+			failures = 0
+		case errStatus(err) == http.StatusGone:
+			// The manager restarted under a new epoch (or forgot us):
+			// transparently rejoin. Completions for pre-restart lease IDs
+			// are dropped — recovery requeued those shards anyway.
+			w.do.ev.Warn(id, "dist.reregister", map[string]any{"cause": err.Error()})
+			completed = nil
+			if err := w.register(ctx); err != nil {
+				return err
+			}
+			continue
+		case errStatus(err) == http.StatusForbidden:
+			return fmt.Errorf("dist: poll rejected: %w", err)
+		default:
 			failures++
-			w.do.ev.Warn(w.id, "dist.retry", map[string]any{"op": "poll", "err": err.Error()})
+			w.do.ev.Warn(id, "dist.retry", map[string]any{"op": "poll", "err": err.Error()})
 			sleep(ctx, w.backoff(failures))
 			continue
 		}
-		failures = 0
 		completed = nil
 		if resp.Done {
 			w.deregister()
-			w.do.ev.Info(w.id, "dist.done", map[string]any{
+			w.do.ev.Info(id, "dist.done", map[string]any{
 				"leases": leases, "corpus": w.CorpusLen(),
 			})
 			return nil
 		}
-		if resp.Lease == nil {
+		batch := resp.Leases
+		if len(batch) == 0 && resp.Lease != nil {
+			batch = []*Lease{resp.Lease}
+		}
+		if len(batch) == 0 {
 			retry := time.Duration(resp.RetryMS) * time.Millisecond
 			if retry <= 0 {
 				retry = 100 * time.Millisecond
@@ -255,23 +315,28 @@ func (w *Worker) Run(ctx context.Context) error {
 			sleep(ctx, retry)
 			continue
 		}
-		leases++
-		w.mu.Lock()
-		w.held = append(w.held, resp.Lease.ID)
-		w.mu.Unlock()
-		if w.dieAfterLeases > 0 && leases >= w.dieAfterLeases {
-			return fmt.Errorf("dist: worker killed by test hook holding lease %d", resp.Lease.ID)
+		for _, lease := range batch {
+			leases++
+			w.mu.Lock()
+			w.held = append(w.held, lease.ID)
+			w.mu.Unlock()
+			if w.dieAfterLeases > 0 && leases >= w.dieAfterLeases {
+				return fmt.Errorf("dist: worker killed by test hook holding lease %d", lease.ID)
+			}
+			done := w.runLease(ctx, lease)
+			w.mu.Lock()
+			w.held = removeLease(w.held, lease.ID)
+			w.mu.Unlock()
+			if done {
+				completed = append(completed, lease.ID)
+			}
+			if ctx.Err() != nil {
+				break
+			}
 		}
-		done := w.runLease(ctx, resp.Lease)
-		w.mu.Lock()
-		w.held = removeLease(w.held, resp.Lease.ID)
-		w.mu.Unlock()
-		if done {
-			completed = append(completed, resp.Lease.ID)
-		}
-		// Push findings and exchange corpus deltas after every lease —
+		// Push findings and exchange corpus deltas after every batch —
 		// cheap (delta-based), and it keeps the global view fresh enough
-		// that a later crash loses at most one shard's discoveries.
+		// that a later crash loses at most one batch's discoveries.
 		w.pushReports()
 		w.syncConverse(false)
 	}
@@ -309,7 +374,8 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) bool {
 		ran += n
 	}
 	w.absorb(pool)
-	w.do.ev.Info(w.id, "dist.lease_complete", map[string]any{
+	id, _ := w.ident()
+	w.do.ev.Info(id, "dist.lease_complete", map[string]any{
 		"lease": lease.ID, "shard": lease.Shard,
 	})
 	return true
@@ -349,13 +415,16 @@ func (w *Worker) pushReports() {
 	if len(fresh) == 0 {
 		return
 	}
+	id, epoch := w.ident()
 	start := time.Now()
 	var resp ReportResponse
-	err := postJSON(w.client, w.url(PathReport),
-		ReportRequest{V: ProtocolVersion, WorkerID: w.id, Reports: fresh}, &resp)
+	err := postJSON(w.client, w.url(PathReport), ReportRequest{
+		V: ProtocolVersion, WorkerID: id, Reports: fresh,
+		Campaign: w.cfg.Campaign, Token: w.cfg.Token, Epoch: epoch,
+	}, &resp)
 	observe(w.do.httpReport, start)
 	if err != nil {
-		w.do.ev.Warn(w.id, "dist.retry", map[string]any{"op": "report", "err": err.Error()})
+		w.do.ev.Warn(id, "dist.retry", map[string]any{"op": "report", "err": err.Error()})
 		return // unacked titles stay queued for the next push
 	}
 	w.mu.Lock()
@@ -363,7 +432,7 @@ func (w *Worker) pushReports() {
 		w.reported[r.Title] = struct{}{}
 	}
 	w.mu.Unlock()
-	w.do.ev.Info(w.id, "dist.report", map[string]any{
+	w.do.ev.Info(id, "dist.report", map[string]any{
 		"sent": len(fresh), "added": resp.Added,
 	})
 }
@@ -375,6 +444,7 @@ func (w *Worker) pushReports() {
 // Deregister flag, so the manager releases this worker's leases on the
 // first round and keeps merging shipped programs on the rest.
 func (w *Worker) syncConverse(deregister bool) {
+	rejoined := false
 	for round := 0; round < syncRounds; round++ {
 		w.mu.Lock()
 		keys := append([]string(nil), w.corpusOrder...)
@@ -392,16 +462,32 @@ func (w *Worker) syncConverse(deregister bool) {
 			w.do.syncBytesOut.Add(uint64(payload.Len()))
 			w.do.syncProgsOut.Add(uint64(len(shipped)))
 		}
+		id, epoch := w.ident()
 		start := time.Now()
 		var resp SyncResponse
 		err := postJSON(w.client, w.url(PathSync), SyncRequest{
-			V: ProtocolVersion, WorkerID: w.id,
+			V: ProtocolVersion, WorkerID: id,
 			Keys: keys, Programs: payload.String(),
 			Deregister: deregister,
+			Campaign:   w.cfg.Campaign, Token: w.cfg.Token, Epoch: epoch,
 		}, &resp)
 		observe(w.do.httpSync, start)
+		if errStatus(err) == http.StatusGone && !rejoined {
+			// Manager restarted mid-conversation: rejoin once (bounded —
+			// the 410 proves the manager is answering) so a final flush
+			// still lands rather than losing this worker's discoveries.
+			rejoined = true
+			rctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			rerr := w.register(rctx)
+			cancel()
+			if rerr == nil {
+				round--
+				continue
+			}
+			return
+		}
 		if err != nil {
-			w.do.ev.Warn(w.id, "dist.retry", map[string]any{"op": "sync", "err": err.Error()})
+			w.do.ev.Warn(id, "dist.retry", map[string]any{"op": "sync", "err": err.Error()})
 			return
 		}
 		merged := 0
@@ -422,7 +508,7 @@ func (w *Worker) syncConverse(deregister bool) {
 			w.do.syncBytesIn.Add(uint64(len(resp.Programs)))
 			w.do.syncProgsIn.Add(uint64(merged))
 		}
-		w.do.ev.Info(w.id, "dist.sync", map[string]any{
+		w.do.ev.Info(id, "dist.sync", map[string]any{
 			"round": round, "sent_programs": len(shipped), "recv_programs": merged,
 			"want": len(resp.Want), "deregister": deregister,
 		})
@@ -441,5 +527,6 @@ func (w *Worker) syncConverse(deregister bool) {
 func (w *Worker) deregister() {
 	w.pushReports()
 	w.syncConverse(true)
-	w.do.ev.Info(w.id, "dist.deregister", nil)
+	id, _ := w.ident()
+	w.do.ev.Info(id, "dist.deregister", nil)
 }
