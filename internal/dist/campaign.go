@@ -461,6 +461,7 @@ func (c *campaign) restoreSnapshotLocked(snap *CampaignSnapshot) {
 	c.cfg.normalize()
 	c.target = modules.Target(snap.Spec.Modules...)
 	c.epoch = snap.Epoch
+	c.doneEmitted = false
 	c.rebuildPlanLocked()
 	for _, idx := range snap.Completed {
 		if idx >= 0 && idx < len(c.shards) && !c.shards[idx].completed {
@@ -579,5 +580,37 @@ func (c *campaign) openStateLocked() error {
 	}
 	c.wal = w
 	c.journalLocked(walEpoch, walEpochD{Epoch: c.epoch})
+	if snap == nil {
+		// First open under this state directory: persist the plan
+		// parameters (spec, total/shard steps, seed) right away. They
+		// live only in snapshots — without one, a crash before the first
+		// periodic compaction would restore the campaign from a bare WAL
+		// as a zero-shard husk (instantly "done") and drop every
+		// completion record it had journaled.
+		c.snapshotLocked()
+	}
+	return nil
+}
+
+// attachStateLocked opens the campaign's WAL for appending without
+// restoring anything from disk — the import path, where whatever the
+// state directory holds (a stale snapshot, an orphaned WAL from a
+// degraded campaign) is precisely what the caller is replacing. The log
+// is truncated so stale records cannot replay over the imported state on
+// the next restart.
+func (c *campaign) attachStateLocked() error {
+	dir := campaignDir(c.m.cfg.StateDir, c.name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dist: campaign state dir: %w", err)
+	}
+	w, err := openWAL(walPath(dir), c.m.do)
+	if err != nil {
+		return err
+	}
+	if err := w.reset(); err != nil {
+		_ = w.close()
+		return fmt.Errorf("dist: truncate wal for import: %w", err)
+	}
+	c.wal = w
 	return nil
 }

@@ -3,6 +3,8 @@ package dist
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"hash/crc32"
 	"net/http/httptest"
 	"os"
 	"strings"
@@ -221,6 +223,170 @@ func TestWALTornRecord(t *testing.T) {
 	}
 	if m3.CorpusLen() != 1 {
 		t.Errorf("second recovery corpus = %d, want 1", m3.CorpusLen())
+	}
+}
+
+// TestWALTornRecordMissingNewline: a final record whose write was cut
+// exactly at the line boundary — valid JSON, valid CRC, no trailing
+// newline — is still the torn tail. It must not be applied (the next
+// append would concatenate onto it and poison a later replay) and must
+// be truncated so subsequent appends start from a clean boundary.
+func TestWALTornRecordMissingNewline(t *testing.T) {
+	cfg := durableConfig(t, 40, 10)
+	m1, _ := startManager(t, cfg)
+	m1.mu.Lock()
+	m1.camps[DefaultCampaign].admitProgramLocked(
+		testProgram(t, "r0 = wq_create()\nwq_pipe_read(r0)\n"), true)
+	m1.mu.Unlock()
+
+	d, err := json.Marshal(walProgramD{Src: "r0 = wq_create()\nwq_set_filter(r0, 0x2)\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := json.Marshal(walRecord{T: walProgram, CRC: crc32.ChecksumIEEE(d), D: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal := walPath(campaignDir(cfg.StateDir, DefaultCampaign))
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(rec); err != nil { // deliberately no '\n'
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2, _ := startManager(t, cfg)
+	if got := m2.do.walTorn.Value(); got != 1 {
+		t.Errorf("wal_torn_records_total = %d, want 1", got)
+	}
+	if m2.CorpusLen() != 1 {
+		t.Errorf("corpus after recovery = %d, want 1 (the newline-less record must not apply)", m2.CorpusLen())
+	}
+	// The tail was truncated: this append lands on a clean boundary, and a
+	// third manager replays everything without loss.
+	m2.mu.Lock()
+	m2.camps[DefaultCampaign].admitProgramLocked(
+		testProgram(t, "r0 = wq_create()\nwq_post_notification(r0, 0x4)\n"), true)
+	m2.mu.Unlock()
+	m3, _ := startManager(t, cfg)
+	if got := m3.do.walTorn.Value(); got != 0 {
+		t.Errorf("second recovery still sees a torn tail (%d)", got)
+	}
+	if m3.CorpusLen() != 2 {
+		t.Errorf("second recovery corpus = %d, want both intact programs", m3.CorpusLen())
+	}
+}
+
+// TestRestartBeforeFirstSnapshotKeepsPlan: the plan parameters live only
+// in snapshots, so a durable campaign writes one at first open — a crash
+// before the first periodic compaction must restore the full shard plan
+// (not a zero-shard husk) and keep the completions journaled meanwhile.
+func TestRestartBeforeFirstSnapshotKeepsPlan(t *testing.T) {
+	cfg := durableConfig(t, 10, 10)
+	m1, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.AddCampaign("extra", CampaignConfig{
+		Campaign: testCampaign(), TotalSteps: 20, ShardSteps: 10, Seed: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m1.mu.Lock()
+	c1 := m1.camps["extra"]
+	id, _ := c1.registerLocked("w", 0)
+	granted, _ := c1.grantLocked(c1.workers[id])
+	if len(granted) == 0 {
+		m1.mu.Unlock()
+		t.Fatal("no lease granted on the extra campaign")
+	}
+	c1.completeLocked(c1.workers[id], granted[0].ID)
+	m1.mu.Unlock()
+
+	// Crash (no Close, so no shutdown compaction) and restart.
+	m2, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.mu.Lock()
+	c2 := m2.camps["extra"]
+	if c2 == nil {
+		m2.mu.Unlock()
+		t.Fatal("extra campaign not restored from the state dir")
+	}
+	shards, completed := len(c2.shards), c2.completed
+	total, seed := c2.cfg.TotalSteps, c2.cfg.Seed
+	done := c2.doneLocked()
+	m2.mu.Unlock()
+	if shards != 2 || total != 20 || seed != 5 {
+		t.Errorf("restored plan: %d shards, total=%d, seed=%d; want 2 shards of the 20/5 plan", shards, total, seed)
+	}
+	if completed != 1 {
+		t.Errorf("restored completed shards = %d, want the 1 journaled before the crash", completed)
+	}
+	if done {
+		t.Error("half-finished campaign restored as instantly done")
+	}
+}
+
+// TestAddCampaignAdoptsPlanForLegacyState: a state directory holding only
+// a WAL (no snapshot — the layout a pre-initial-snapshot manager left
+// behind) restores with an empty plan; re-adding the campaign via
+// -add-campaign must adopt the supplied plan, keeping the WAL-replayed
+// corpus, instead of leaving the zero-shard campaign and only updating
+// its token.
+func TestAddCampaignAdoptsPlanForLegacyState(t *testing.T) {
+	cfg := durableConfig(t, 10, 10)
+	extra := CampaignConfig{Campaign: testCampaign(), TotalSteps: 20, ShardSteps: 10, Seed: 5, Token: "tok"}
+	m1, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.AddCampaign("legacy", extra); err != nil {
+		t.Fatal(err)
+	}
+	prog := testProgram(t, "r0 = wq_create()\nwq_pipe_read(r0)\n")
+	m1.mu.Lock()
+	m1.camps["legacy"].admitProgramLocked(prog, true)
+	m1.mu.Unlock()
+	// Simulate the legacy layout: WAL only, no snapshot.
+	if err := os.Remove(snapshotPath(campaignDir(cfg.StateDir, "legacy"))); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.AddCampaign("legacy", extra); err != nil {
+		t.Fatal(err)
+	}
+	m2.mu.Lock()
+	c2 := m2.camps["legacy"]
+	shards, corpus, token := len(c2.shards), len(c2.corpusOrder), c2.cfg.Token
+	m2.mu.Unlock()
+	if shards != 2 {
+		t.Errorf("re-added legacy campaign has %d shards, want the adopted 2-shard plan", shards)
+	}
+	if corpus != 1 {
+		t.Errorf("adoption lost the WAL-replayed corpus: %d programs, want 1", corpus)
+	}
+	if token != "tok" {
+		t.Errorf("re-added campaign token = %q, want %q", token, "tok")
+	}
+	// The adopted plan was persisted: a further restart restores it even
+	// without another AddCampaign.
+	m3, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3.mu.Lock()
+	shards = len(m3.camps["legacy"].shards)
+	m3.mu.Unlock()
+	if shards != 2 {
+		t.Errorf("restart after adoption restored %d shards, want 2", shards)
 	}
 }
 
@@ -583,5 +749,63 @@ func TestExportImportRoundTrip(t *testing.T) {
 		V: ProtocolVersion, Token: "newtok",
 	}, nil); err != nil {
 		t.Errorf("tokened register after import: %v", err)
+	}
+}
+
+// TestImportReplacesStaleDiskState: importing into a durable campaign
+// whose WAL is detached (a disk-full degrade) must not restore the stale
+// on-disk snapshot/WAL over the imported state — the import wins, both
+// in memory and across a restart.
+func TestImportReplacesStaleDiskState(t *testing.T) {
+	// Source manager accumulates the state to migrate.
+	src, err := NewManager(fastManagerConfig(20, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported := testProgram(t, "r0 = wq_create()\nwq_post_notification(r0, 0x4)\n")
+	src.mu.Lock()
+	cs := src.camps[DefaultCampaign]
+	cs.admitProgramLocked(imported, true)
+	cs.admitReportLocked(&report.Report{Title: "imported finding"}, true)
+	cs.shards[0].completed = true
+	cs.completed++
+	src.mu.Unlock()
+	var buf bytes.Buffer
+	if err := src.ExportCampaign(DefaultCampaign, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Destination: durable, with its own (soon stale) journaled state,
+	// then degraded to in-memory operation — the wal == nil posture.
+	cfg := durableConfig(t, 20, 10)
+	m, _ := startManager(t, cfg)
+	m.mu.Lock()
+	c := m.camps[DefaultCampaign]
+	c.admitProgramLocked(testProgram(t, "r0 = wq_create()\nwq_pipe_read(r0)\n"), true)
+	_ = c.wal.close()
+	c.wal = nil
+	m.mu.Unlock()
+
+	if _, err := m.ImportCampaign(bytes.NewReader(buf.Bytes()), "tok"); err != nil {
+		t.Fatal(err)
+	}
+	if hashes := m.CorpusKeyHashes(); len(hashes) != 1 || hashes[0] != progHash(imported) {
+		t.Errorf("corpus after import = %v, want only the imported program", hashes)
+	}
+	if m.ShardsCompleted() != 1 {
+		t.Errorf("completed shards after import = %d, want 1", m.ShardsCompleted())
+	}
+
+	// A restart over the same state dir restores the imported state, not
+	// the pre-import snapshot or the orphaned WAL records.
+	m2, _ := startManager(t, cfg)
+	if hashes := m2.CorpusKeyHashes(); len(hashes) != 1 || hashes[0] != progHash(imported) {
+		t.Errorf("restarted corpus = %v, want only the imported program", hashes)
+	}
+	if m2.ShardsCompleted() != 1 {
+		t.Errorf("restarted completed shards = %d, want 1", m2.ShardsCompleted())
+	}
+	if titles := m2.ReportTitles(); len(titles) != 1 || titles[0] != "imported finding" {
+		t.Errorf("restarted reports = %v, want only the imported finding", titles)
 	}
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"crypto/subtle"
 	"fmt"
 	"io"
 	"net/http"
@@ -227,8 +228,11 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 
 // AddCampaign hosts (or, when the state directory already holds its
 // snapshot/WAL, restores) a named campaign next to the default one. It
-// is idempotent on the name only insofar as re-adding updates the auth
-// token; plan and state of an existing campaign are left untouched.
+// is idempotent on the name: re-adding updates the auth token and leaves
+// an existing campaign's plan and state untouched — except when the
+// existing campaign has no plan at all (restored from a legacy state
+// directory holding only a WAL, no snapshot), in which case it adopts
+// the supplied plan instead of staying a zero-shard husk.
 func (m *Manager) AddCampaign(name string, cfg CampaignConfig) error {
 	if !validCampaignName(name) {
 		return fmt.Errorf("dist: invalid campaign name %q", name)
@@ -237,6 +241,16 @@ func (m *Manager) AddCampaign(name string, cfg CampaignConfig) error {
 	defer m.mu.Unlock()
 	if c, ok := m.camps[name]; ok {
 		c.cfg.Token = cfg.Token
+		if len(c.shards) == 0 && cfg.TotalSteps > 0 {
+			cfg.normalize()
+			c.cfg.Campaign = cfg.Campaign
+			c.cfg.TotalSteps, c.cfg.ShardSteps, c.cfg.Seed = cfg.TotalSteps, cfg.ShardSteps, cfg.Seed
+			c.target = modules.Target(cfg.Campaign.Modules...)
+			c.doneEmitted = false
+			c.rebuildPlanLocked()
+			c.snapshotLocked()
+			m.setGaugesLocked()
+		}
 		return nil
 	}
 	c := newCampaign(m, name, cfg)
@@ -304,8 +318,14 @@ func (m *Manager) ImportCampaign(r io.Reader, token string) (string, error) {
 	c.epoch++
 	c.requeueIncompleteLocked()
 	if m.cfg.StateDir != "" {
+		// Attach the state directory WITHOUT restoring from it: whatever
+		// is on disk (a stale snapshot, an orphaned WAL from a campaign
+		// degraded by an earlier write failure) is exactly what this
+		// import replaces. openStateLocked here would replay that stale
+		// state over the import and then persist it, silently discarding
+		// the snapshot we just read.
 		if c.wal == nil {
-			if err := c.openStateLocked(); err != nil {
+			if err := c.attachStateLocked(); err != nil {
 				m.mu.Unlock()
 				return "", err
 			}
@@ -529,7 +549,7 @@ func (m *Manager) resolveLocked(w http.ResponseWriter, campaignName, token strin
 		writeError(w, http.StatusNotFound, "unknown campaign %q", campaignName)
 		return nil
 	}
-	if c.cfg.Token != "" && token != c.cfg.Token {
+	if c.cfg.Token != "" && subtle.ConstantTimeCompare([]byte(token), []byte(c.cfg.Token)) != 1 {
 		writeError(w, http.StatusForbidden, "campaign %q: bad or missing token", c.name)
 		return nil
 	}

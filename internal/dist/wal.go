@@ -21,8 +21,8 @@ import (
 //
 // Every state change that must survive a manager crash — a corpus
 // program admission, a new global report, a shard completion, a worker
-// registration, an epoch bump — appends one walRecord line before the
-// handler replies. A restarted manager loads the snapshot, replays the
+// registration, an epoch bump — appends and fsyncs one walRecord line
+// before the handler replies. A restarted manager loads the snapshot, replays the
 // log over it, truncates any torn final record (a crash mid-append), and
 // bumps the epoch so workers re-register. Snapshots are written
 // atomically (temp file + rename) every ManagerConfig.SnapshotEvery
@@ -104,9 +104,10 @@ func openWAL(path string, do *distObs) (*wal, error) {
 	return &wal{f: f, path: path, do: do}, nil
 }
 
-// append journals one record. Append failures are surfaced to the caller
-// (the campaign degrades to in-memory operation and warns, rather than
-// failing fleet traffic over a full disk).
+// append journals one record and fsyncs it, so an acknowledged admission
+// survives power loss, not just a process crash. Append failures are
+// surfaced to the caller (the campaign degrades to in-memory operation
+// and warns, rather than failing fleet traffic over a full disk).
 func (w *wal) append(t string, payload any) error {
 	d, err := json.Marshal(payload)
 	if err != nil {
@@ -119,6 +120,9 @@ func (w *wal) append(t string, payload any) error {
 	line = append(line, '\n')
 	if _, err := w.f.Write(line); err != nil {
 		return fmt.Errorf("dist: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("dist: wal fsync: %w", err)
 	}
 	w.records++
 	w.do.walRecords[t].Inc()
@@ -142,7 +146,7 @@ func (w *wal) reset() error {
 func (w *wal) close() error { return w.f.Close() }
 
 // replayWAL reads the log at path, invoking apply for every intact record
-// in order. A torn tail — a final record that is truncated mid-line,
+// in order. A torn tail — a final record that lacks its trailing newline,
 // fails its checksum, or is not valid JSON — ends the replay and is
 // truncated away so the next append starts from a clean record boundary;
 // torn reports how many trailing bytes were dropped. A missing file
@@ -157,21 +161,29 @@ func replayWAL(path string, apply func(t string, d json.RawMessage)) (replayed i
 		return 0, 0, fmt.Errorf("dist: open wal for replay: %w", err)
 	}
 	defer f.Close()
-	var good int64 // offset just past the last intact record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
+	var good int64 // offset just past the last intact record's newline
+	br := bufio.NewReaderSize(f, 64*1024)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr == io.EOF {
+			// A final line without its trailing newline is a write cut
+			// exactly at the record boundary — the torn tail. It must not
+			// be applied even when its JSON and CRC happen to check out:
+			// the next O_APPEND write would concatenate onto it, and a
+			// later replay would then discard that merged line plus
+			// everything after it.
+			break
+		}
+		if rerr != nil {
+			return replayed, 0, fmt.Errorf("dist: wal replay: %w", rerr)
+		}
 		var rec walRecord
 		if json.Unmarshal(line, &rec) != nil || rec.CRC != crc32.ChecksumIEEE(rec.D) {
 			break
 		}
 		apply(rec.T, rec.D)
 		replayed++
-		good += int64(len(line)) + 1 // the consumed newline
-	}
-	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
-		return replayed, 0, fmt.Errorf("dist: wal replay: %w", err)
+		good += int64(len(line))
 	}
 	st, err := f.Stat()
 	if err != nil {
@@ -231,8 +243,9 @@ type CampaignSnapshot struct {
 	Reports []*report.Report `json:"reports,omitempty"`
 }
 
-// writeSnapshotFile writes snap atomically: temp file in the same
-// directory, then rename.
+// writeSnapshotFile writes snap atomically and durably: temp file in the
+// same directory, fsync, rename, then fsync the directory so the rename
+// itself survives power loss.
 func writeSnapshotFile(path string, snap *CampaignSnapshot) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
 	if err != nil {
@@ -244,10 +257,23 @@ func writeSnapshotFile(path string, snap *CampaignSnapshot) error {
 		tmp.Close()
 		return fmt.Errorf("dist: snapshot encode: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("dist: snapshot fsync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("dist: snapshot close: %w", err)
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Not every filesystem supports fsync on a directory handle; the
+	// rename is still atomic without it, so failures are non-fatal.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
 }
 
 // writeSnapshotTo streams a snapshot to an arbitrary writer (campaign
