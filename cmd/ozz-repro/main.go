@@ -27,6 +27,7 @@ func main() {
 		seed   = flag.Int64("seed", 42, "campaign seed")
 		list   = flag.Bool("list", false, "list bug switches and exit")
 		assist = flag.Bool("migration-assist", false, "enable the sbitmap migration assist (§6.2)")
+		fix    = flag.Bool("repair", false, "search for a fence repair and print the suggestion (docs/REPAIR.md)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 		Bugs:     modules.Bugs(switches...),
 		Seed:     *seed,
 		UseSeeds: true,
+		Repair:   *fix,
 	})
 	want := b.Title
 	if want == "" {
@@ -67,5 +69,12 @@ func main() {
 	}
 	fmt.Println("reproduced:")
 	fmt.Print(r.String())
+	if *fix {
+		if rr := f.RepairResult(want); rr != nil {
+			fmt.Print(rr.Render())
+		} else {
+			fmt.Println("no fence repair found for this finding")
+		}
+	}
 	_ = bench.BugRunResult{} // keep the bench harness linked for -h docs
 }

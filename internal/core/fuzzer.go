@@ -10,6 +10,7 @@ import (
 	"ozz/internal/memmodel"
 	"ozz/internal/modules"
 	"ozz/internal/obs"
+	"ozz/internal/repair"
 	"ozz/internal/report"
 	"ozz/internal/syzlang"
 )
@@ -47,6 +48,14 @@ type Config struct {
 	// findings are additionally probed under every other registered
 	// model to fill the report's "reorders under" line.
 	Model *memmodel.Table
+	// Repair, when true, runs the automatic fence-repair search
+	// (internal/repair) on every newly-discovered OOO finding and
+	// attaches the ranked patch suggestions to the report's SuggestedFix
+	// block; structured results are retrievable via RepairResult. The
+	// search re-runs the reproducer through the engine but touches
+	// neither the deterministic Stats counters nor coverage, so campaign
+	// findings and goldens are unaffected.
+	Repair bool
 	// Obs, when non-nil, is the metrics registry the campaign and its
 	// engine publish into; nil gives the campaign a fresh private
 	// registry (retrieve it with Obs()). Sharing one registry across
@@ -166,6 +175,10 @@ type Fuzzer struct {
 	seeds  []*syzlang.Program
 	cov    map[uint64]struct{}
 
+	// repairs holds the structured fence-repair result per finding title
+	// (Config.Repair campaigns only).
+	repairs map[string]*repair.Result
+
 	// Reports collects deduplicated findings.
 	Reports *report.Set
 	// Stats counts work done.
@@ -184,6 +197,7 @@ func NewFuzzer(cfg Config) *Fuzzer {
 		start:   time.Now(),
 		co:      newCampaignObs(env.Obs(), cfg.Events),
 		cov:     make(map[uint64]struct{}),
+		repairs: make(map[string]*repair.Result),
 		Reports: report.NewSet(),
 	}
 	// Claim executor width 1 only if no pool sharing this registry
@@ -390,6 +404,10 @@ func (f *Fuzzer) harvest(p *syzlang.Program, i, j int, h *hints.Hint, rank int, 
 				r.Models = f.probeModels(p, i, j, h, func(pr *MTIResult) bool {
 					return pr.Crash != nil && pr.Crash.Title == r.Title
 				})
+				if rr := repairFinding(f.env, &f.cfg, f.co, p, i, j, h, r.Title, false); rr != nil {
+					r.SuggestedFix = rr.Lines()
+					f.repairs[r.Title] = rr
+				}
 			}
 		}
 		add(r)
@@ -413,10 +431,42 @@ func (f *Fuzzer) harvest(p *syzlang.Program, i, j int, h *hints.Hint, rank int, 
 				}
 				return false
 			})
+			if rr := repairFinding(f.env, &f.cfg, f.co, p, i, j, h, r.Title, true); rr != nil {
+				r.SuggestedFix = rr.Lines()
+				f.repairs[r.Title] = rr
+			}
 		}
 		add(r)
 	}
 	return found
+}
+
+// RepairResult returns the structured fence-repair search result for a
+// finding's title, or nil when repair is disabled or the title is
+// unknown.
+func (f *Fuzzer) RepairResult(title string) *repair.Result { return f.repairs[title] }
+
+// repairFinding runs the fence-repair search for a newly-discovered OOO
+// finding (both campaign executors call it under the title-is-new guard).
+// It returns nil when Config.Repair is off. The reproducer's sequential
+// profile comes from the memoized STI cache, so the extra cost is the
+// search itself.
+func repairFinding(env *Env, cfg *Config, co *campaignObs, p *syzlang.Program, i, j int, h *hints.Hint, title string, soft bool) *repair.Result {
+	if !cfg.Repair {
+		return nil
+	}
+	start := time.Now()
+	defer observe(co.stRepair, start)
+	sti := env.RunSTICached(p)
+	return repair.InVivo(repair.InVivoInput{
+		Prog:   p,
+		I:      i,
+		J:      j,
+		Hint:   h,
+		Events: sti.CallEvents,
+		Title:  title,
+		Soft:   soft,
+	}, env, repair.Options{Model: cfg.Model, Metrics: co.repair})
 }
 
 // probeModels is the serial fuzzer's cross-model probe; the divergence

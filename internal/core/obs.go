@@ -4,13 +4,15 @@ import (
 	"time"
 
 	"ozz/internal/obs"
+	"ozz/internal/repair"
 )
 
 // stageNames are the fuzzing pipeline stages timed by
 // ozz_stage_duration_seconds, in label order: program selection,
 // STI profiling, hint computation (Algorithm 1/2), MTI pair execution,
-// the OOO triage re-run, and the pool's index-ordered batch merge.
-var stageNames = []string{"generate", "profile", "hints", "mti", "triage", "merge"}
+// the OOO triage re-run, the pool's index-ordered batch merge, and the
+// fence-repair search on new OOO findings.
+var stageNames = []string{"generate", "profile", "hints", "mti", "triage", "merge", "repair"}
 
 // campaignObs is the campaign layer's handle bundle into an obs.Registry:
 // workflow counters mirroring the deterministic Stats block, campaign
@@ -29,7 +31,11 @@ type campaignObs struct {
 	modelDivergences                               *obs.Counter
 
 	// stage histogram children, indexed like stageNames.
-	stGenerate, stProfile, stHints, stMTI, stTriage, stMerge *obs.Histogram
+	stGenerate, stProfile, stHints, stMTI, stTriage, stMerge, stRepair *obs.Histogram
+
+	// repair holds the ozz_repair_* counter bundle the fence-repair
+	// search increments when Config.Repair is on.
+	repair *repair.Metrics
 }
 
 // newCampaignObs registers the campaign metric families on reg (creating
@@ -72,8 +78,9 @@ func newCampaignObs(reg *obs.Registry, ev *obs.EventLog) *campaignObs {
 	for i, s := range stageNames {
 		children[i] = stages.With(s)
 	}
-	c.stGenerate, c.stProfile, c.stHints, c.stMTI, c.stTriage, c.stMerge =
-		children[0], children[1], children[2], children[3], children[4], children[5]
+	c.stGenerate, c.stProfile, c.stHints, c.stMTI, c.stTriage, c.stMerge, c.stRepair =
+		children[0], children[1], children[2], children[3], children[4], children[5], children[6]
+	c.repair = repair.RegisterMetrics(reg)
 	return c
 }
 

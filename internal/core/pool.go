@@ -11,6 +11,7 @@ import (
 	"ozz/internal/memmodel"
 	"ozz/internal/modules"
 	"ozz/internal/obs"
+	"ozz/internal/repair"
 	"ozz/internal/report"
 	"ozz/internal/syzlang"
 )
@@ -226,12 +227,13 @@ type Pool struct {
 	// Reports collects deduplicated findings, concurrently readable.
 	Reports *SafeReportSet
 
-	mu     sync.Mutex // guards seeds, corpus, Stats, steps
-	seeds  []*syzlang.Program
-	corpus []*syzlang.Program
-	stats  Stats
-	steps  uint64 // next global step index
-	start  time.Time
+	mu      sync.Mutex // guards seeds, corpus, Stats, steps, repairs
+	seeds   []*syzlang.Program
+	corpus  []*syzlang.Program
+	stats   Stats
+	steps   uint64 // next global step index
+	start   time.Time
+	repairs map[string]*repair.Result
 
 	// mergeBatch/mergeMaps are batch-merge scratch, reused under mu so the
 	// per-batch coverage publication allocates nothing in steady state.
@@ -256,6 +258,7 @@ func NewPool(cfg Config, workers int) *Pool {
 		co:      newCampaignObs(env.Obs(), cfg.Events),
 		Cov:     NewShardedCov(),
 		Reports: NewSafeReportSet(),
+		repairs: make(map[string]*repair.Result),
 	}
 	// The pool's width is authoritative for any Stats view over this
 	// registry (the Snapshot-hardcodes-1 fix).
@@ -273,6 +276,15 @@ func NewPool(cfg Config, workers int) *Pool {
 // Env exposes the shared execution environment (profile cache and kernel
 // recycler included).
 func (p *Pool) Env() *Env { return p.env }
+
+// RepairResult returns the structured fence-repair search result for a
+// finding's title, or nil when repair is disabled or the title is
+// unknown. Concurrency-safe.
+func (p *Pool) RepairResult(title string) *repair.Result {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.repairs[title]
+}
 
 // Obs returns the metrics registry the campaign publishes into.
 func (p *Pool) Obs() *obs.Registry { return p.co.reg }
@@ -360,6 +372,9 @@ type job struct {
 type jobReport struct {
 	r           *report.Report
 	rebaseTests bool
+	// repair is the finding's fence-repair search result (Config.Repair
+	// campaigns); the merger publishes the winning instance's result.
+	repair *repair.Result
 }
 
 // jobResult is the outcome of one executed step, merged in index order.
@@ -484,6 +499,7 @@ func (p *Pool) harvestJob(res *jobResult, prog *syzlang.Program, i, j int, h *hi
 			OOO:     ooo,
 			Program: prog.String(),
 		}
+		var rr *repair.Result
 		if r.OOO {
 			r.Type = h.Type()
 			r.HypBarrier = fmt.Sprintf("before %s (%s)", modules.SiteName(h.Sched), h.Test)
@@ -503,9 +519,15 @@ func (p *Pool) harvestJob(res *jobResult, prog *syzlang.Program, i, j int, h *hi
 				r.Models = probeModels(p.env, p.cfg.Model, prog, i, j, h, func(pr *MTIResult) bool {
 					return pr.Crash != nil && pr.Crash.Title == r.Title
 				})
+				// Fence repair under the same guard: racing in-batch
+				// duplicates search redundantly but deterministically, and
+				// only the merge-ordered first instance's result is kept.
+				if rr = repairFinding(p.env, &p.cfg, p.co, prog, i, j, h, r.Title, false); rr != nil {
+					r.SuggestedFix = rr.Lines()
+				}
 			}
 		}
-		res.reports = append(res.reports, jobReport{r: r, rebaseTests: r.OOO})
+		res.reports = append(res.reports, jobReport{r: r, rebaseTests: r.OOO, repair: rr})
 	}
 	for _, s := range mres.Soft {
 		r := &report.Report{
@@ -517,6 +539,7 @@ func (p *Pool) harvestJob(res *jobResult, prog *syzlang.Program, i, j int, h *hi
 			HintRank:   rank + 1,
 			Tests:      int(res.mtis),
 		}
+		var rr *repair.Result
 		if p.Reports.Get(r.Title) == nil {
 			r.Models = probeModels(p.env, p.cfg.Model, prog, i, j, h, func(pr *MTIResult) bool {
 				for _, ps := range pr.Soft {
@@ -526,8 +549,11 @@ func (p *Pool) harvestJob(res *jobResult, prog *syzlang.Program, i, j int, h *hi
 				}
 				return false
 			})
+			if rr = repairFinding(p.env, &p.cfg, p.co, prog, i, j, h, r.Title, true); rr != nil {
+				r.SuggestedFix = rr.Lines()
+			}
 		}
-		res.reports = append(res.reports, jobReport{r: r, rebaseTests: true})
+		res.reports = append(res.reports, jobReport{r: r, rebaseTests: true, repair: rr})
 	}
 }
 
@@ -562,6 +588,9 @@ func (p *Pool) merge(res *jobResult, stiNew int, found *[]*report.Report) {
 		added := p.Reports.Add(jr.r)
 		p.co.reportOutcome(added, jr.r.OOO)
 		if added {
+			if jr.repair != nil {
+				p.repairs[jr.r.Title] = jr.repair
+			}
 			// Counting divergences here, not at probe time, keeps the
 			// counter exact: a title probed redundantly by racing in-batch
 			// duplicates still increments once, for the merged instance.

@@ -43,6 +43,11 @@ type Report struct {
 	// is architecture-dependent — e.g. reachable under lkmm and armv8
 	// but not under tso's FIFO store buffer.
 	Models []string
+	// SuggestedFix holds the fence-repair search's ranked patch
+	// suggestions ("insert smp_wmb between A and B [...]"), one line per
+	// validated candidate; empty when repair is disabled or found
+	// nothing.
+	SuggestedFix []string
 }
 
 // String renders the report in a syzkaller-dashboard-like block.
@@ -52,7 +57,6 @@ func (r *Report) String() string {
 	fmt.Fprintf(&sb, "  oracle:   %s\n", r.Oracle)
 	if r.OOO {
 		fmt.Fprintf(&sb, "  reorder:  %s\n", r.Type)
-		fmt.Fprintf(&sb, "  barrier:  missing at %s\n", r.HypBarrier)
 		if len(r.ReorderedSites) > 0 {
 			fmt.Fprintf(&sb, "  reordered accesses:\n")
 			for _, s := range r.ReorderedSites {
@@ -60,9 +64,17 @@ func (r *Report) String() string {
 			}
 		}
 		fmt.Fprintf(&sb, "  pair:     %s <-> %s\n", r.Pair[0], r.Pair[1])
-		fmt.Fprintf(&sb, "  hint rank: %d, tests: %d\n", r.HintRank, r.Tests)
+		fmt.Fprintf(&sb, "  diagnosis:\n")
+		fmt.Fprintf(&sb, "    barrier:   missing at %s\n", r.HypBarrier)
+		fmt.Fprintf(&sb, "    hint rank: %d (after %d tests)\n", r.HintRank, r.Tests)
 		if len(r.Models) > 0 {
-			fmt.Fprintf(&sb, "  reorders under: %s\n", strings.Join(r.Models, ", "))
+			fmt.Fprintf(&sb, "    reorders under: %s\n", strings.Join(r.Models, ", "))
+		}
+		if len(r.SuggestedFix) > 0 {
+			fmt.Fprintf(&sb, "    suggested fix:\n")
+			for _, line := range r.SuggestedFix {
+				fmt.Fprintf(&sb, "      - %s\n", line)
+			}
 		}
 	}
 	if r.Program != "" {

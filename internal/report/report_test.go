@@ -82,14 +82,28 @@ func TestReportRendering(t *testing.T) {
 		Pair:           [2]string{"call 1: wq_post_notification", "call 2: wq_pipe_read"},
 		HintRank:       1,
 		Tests:          23,
+		Models:         []string{"armv8", "lkmm"},
+		SuggestedFix: []string{
+			"insert smp_wmb between post_one_notification:buf->ops=&ops and post_one_notification:head+=1 [fixes: armv8, lkmm; unnecessary: tso]",
+		},
 	}
 	out := r.String()
 	for _, want := range []string{
-		"pipe_read", "S-S", "missing at before post_one_notification",
-		"buf->ops", "hint rank: 1, tests: 23", "wq_create",
+		"pipe_read", "S-S", "diagnosis:", "missing at before post_one_notification",
+		"buf->ops", "hint rank: 1 (after 23 tests)", "reorders under: armv8, lkmm",
+		"suggested fix:", "- insert smp_wmb between", "wq_create",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report rendering lacks %q:\n%s", want, out)
+		}
+	}
+	// The diagnosis lines form one indented block under "diagnosis:".
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "missing at") || strings.Contains(line, "hint rank:") ||
+			strings.Contains(line, "reorders under:") || strings.Contains(line, "suggested fix:") {
+			if !strings.HasPrefix(line, "    ") {
+				t.Errorf("diagnosis line not nested under the diagnosis block: %q", line)
+			}
 		}
 	}
 }

@@ -1,0 +1,218 @@
+package ozz
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"ozz/internal/obs"
+	"ozz/internal/repair"
+)
+
+// repairIdentifiers collects every exported identifier of package repair's
+// non-test files — types, funcs and methods, consts, vars, exported fields
+// of exported structs, and interface methods. The repair guide must
+// document all of them, and may reference nothing else by bare backticked
+// CamelCase name.
+func repairIdentifiers(t *testing.T) map[string]bool {
+	t.Helper()
+	idents := map[string]bool{
+		// Declared in this package, one level up from internal/repair, but
+		// referenced by docs/REPAIR.md.
+		"TestRepairDocComplete": true,
+	}
+	dir := filepath.Join("internal", "repair")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", e.Name(), err)
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() {
+					idents[d.Name.Name] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.ValueSpec:
+						for _, name := range sp.Names {
+							if name.IsExported() {
+								idents[name.Name] = true
+							}
+						}
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						idents[sp.Name.Name] = true
+						var fields *ast.FieldList
+						switch typ := sp.Type.(type) {
+						case *ast.StructType:
+							fields = typ.Fields
+						case *ast.InterfaceType:
+							fields = typ.Methods
+						}
+						if fields == nil {
+							continue
+						}
+						for _, field := range fields.List {
+							for _, name := range field.Names {
+								if name.IsExported() {
+									idents[name.Name] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(idents) < 10 {
+		t.Fatalf("repair surface came back suspiciously small: %v", sortedKeys(idents))
+	}
+	return idents
+}
+
+// repairJSONTags collects the json field tags of package repair's exported
+// structs — the CLI's wire surface.
+func repairJSONTags(t *testing.T) map[string]bool {
+	t.Helper()
+	tags := map[string]bool{}
+	dir := filepath.Join("internal", "repair")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", e.Name(), err)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if field.Tag == nil {
+					continue
+				}
+				raw := strings.Trim(field.Tag.Value, "`")
+				m := regexp.MustCompile(`json:"([^",]+)`).FindStringSubmatch(raw)
+				if m != nil && m[1] != "-" {
+					tags[m[1]] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(tags) == 0 {
+		t.Fatal("no json tags found in internal/repair")
+	}
+	return tags
+}
+
+// TestRepairDocComplete diffs docs/REPAIR.md against the actual repair
+// surface, both ways, mirroring TestDistributedDocComplete:
+//
+//   - every ozz_repair_* metric family RegisterMetrics registers is
+//     documented, and every documented ozz_repair_* token is registered;
+//   - every exported identifier of internal/repair appears backticked in
+//     the doc, and every backticked bare CamelCase token in the doc names
+//     a real repair identifier;
+//   - every json wire tag of the repair structs appears backticked.
+func TestRepairDocComplete(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("docs", "REPAIR.md"))
+	if err != nil {
+		t.Fatalf("reading repair guide: %v", err)
+	}
+	text := string(doc)
+
+	// Metric families, both directions.
+	reg := obs.NewRegistry()
+	repair.RegisterMetrics(reg)
+	registered := map[string]bool{}
+	for _, n := range reg.Names() {
+		if strings.HasPrefix(n, "ozz_repair_") {
+			registered[n] = true
+		}
+	}
+	documented := map[string]bool{}
+	for _, tok := range regexp.MustCompile(`ozz_repair_[a-z0-9_]+`).FindAllString(text, -1) {
+		documented[tok] = true
+	}
+	var missing, stale []string
+	for n := range registered {
+		if !documented[n] {
+			missing = append(missing, n)
+		}
+	}
+	for n := range documented {
+		if !registered[n] {
+			stale = append(stale, n)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) > 0 {
+		t.Errorf("repair metrics registered but not documented in docs/REPAIR.md: %v", missing)
+	}
+	if len(stale) > 0 {
+		t.Errorf("repair metrics documented in docs/REPAIR.md but not registered: %v", stale)
+	}
+
+	// Backticked tokens. Dotted references like `Fence.String` document
+	// both segments; bare CamelCase tokens must name a real identifier.
+	backticked := map[string]bool{}
+	docNames := map[string]bool{}
+	segment := regexp.MustCompile(`[A-Za-z0-9_]+`)
+	for _, m := range regexp.MustCompile("`([^`\n]+)`").FindAllStringSubmatch(text, -1) {
+		backticked[m[1]] = true
+		for _, seg := range segment.FindAllString(m[1], -1) {
+			docNames[seg] = true
+		}
+	}
+
+	idents := repairIdentifiers(t)
+	for _, name := range sortedKeys(idents) {
+		if name == "TestRepairDocComplete" {
+			continue // lives in this package, not internal/repair
+		}
+		if !docNames[name] {
+			t.Errorf("exported repair identifier %s is not documented in docs/REPAIR.md", name)
+		}
+	}
+	camel := regexp.MustCompile(`^[A-Z][A-Za-z0-9]*$`)
+	for _, tok := range sortedKeys(backticked) {
+		if camel.MatchString(tok) && !idents[tok] {
+			t.Errorf("docs/REPAIR.md references `%s`, which package repair does not declare", tok)
+		}
+	}
+
+	// Wire fields: every json tag appears backticked.
+	for _, tag := range sortedKeys(repairJSONTags(t)) {
+		if !docNames[tag] {
+			t.Errorf("wire field %q of internal/repair is not documented in docs/REPAIR.md", tag)
+		}
+	}
+}
