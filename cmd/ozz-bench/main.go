@@ -112,8 +112,8 @@ func main() {
 	if run("4") {
 		fmt.Println("== Table 4: previously-reported OOO bugs (reproduction) ==")
 		rows := bench.RunTable4(*budget)
-		assist := bench.RunSbitmapAssist(*budget)
-		fmt.Print(bench.FormatTable4(rows, assist))
+		pinned := bench.RunSbitmapPinned(*budget)
+		fmt.Print(bench.FormatTable4(rows, pinned))
 		fmt.Println("(* = wrong-return-value symptom, not a crash)")
 		fmt.Println()
 	}

@@ -7,7 +7,15 @@
 // Usage:
 //
 //	ozz-repro -bug tls:sk_prot_wmb [-budget 200] [-seed 42]
+//	ozz-repro -bug sbitmap:freed_order [-strategy migration]
 //	ozz-repro -list
+//
+// -strategy selects the engine strategy ("ooo", "migration", "deferred").
+// When omitted it defaults to the strategy the bug's corpus entry declares
+// (BugInfo.Strategy) — so `ozz-repro -bug sbitmap:freed_order` reproduces
+// Table 4 #6 through real cross-CPU migration with no extra flags. The
+// legacy -migration-assist switch is deprecated in favour of
+// -strategy migration (docs/SCHEDULING.md).
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 
 	"ozz/internal/bench"
 	"ozz/internal/core"
+	"ozz/internal/engine"
 	"ozz/internal/modules"
 )
 
@@ -26,7 +35,8 @@ func main() {
 		budget = flag.Int("budget", 200, "max fuzzer steps")
 		seed   = flag.Int64("seed", 42, "campaign seed")
 		list   = flag.Bool("list", false, "list bug switches and exit")
-		assist = flag.Bool("migration-assist", false, "enable the sbitmap migration assist (§6.2)")
+		assist = flag.Bool("migration-assist", false, "enable the sbitmap migration assist (deprecated; use -strategy migration)")
+		strat  = flag.String("strategy", "", `engine strategy: "ooo", "migration", or "deferred" (default: the bug's declared strategy)`)
 		fix    = flag.Bool("repair", false, "search for a fence repair and print the suggestion (docs/REPAIR.md)")
 	)
 	flag.Parse()
@@ -45,18 +55,34 @@ func main() {
 
 	switches := []string{b.Switch}
 	if *assist {
-		switches = append(switches, "sbitmap:migration_assist")
+		const sw = "sbitmap:migration_assist"
+		fmt.Fprintf(os.Stderr, "warning: -migration-assist is %s\n", modules.DeprecatedSwitches[sw])
+		switches = append(switches, sw)
+	}
+	// An unset -strategy defers to the strategy the corpus entry declares,
+	// so migration-gated bugs reproduce with no extra flags.
+	strategy := *strat
+	if strategy == "" {
+		strategy = b.Strategy
+	}
+	if _, err := engine.ParseStrategy(strategy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	f := core.NewFuzzer(core.Config{
 		Modules:  []string{b.Module},
 		Bugs:     modules.Bugs(switches...),
 		Seed:     *seed,
 		UseSeeds: true,
+		Strategy: strategy,
 		Repair:   *fix,
 	})
 	want := b.Title
 	if want == "" {
 		want = b.SoftTitle
+	}
+	if strategy != "" && strategy != "ooo" {
+		fmt.Printf("strategy: %s\n", strategy)
 	}
 	fmt.Printf("reproducing %s (%s, %s, kernel %s)...\n", b.ID, b.Switch, b.Subsystem, b.KernelVersion)
 	r := f.RunUntil(want, *budget)

@@ -39,6 +39,12 @@ type mtiOutcome struct {
 	Fired     bool   `json:"fired"`
 	Reordered int    `json:"reordered"`
 	CovEdges  int    `json:"cov_edges"`
+	// Migrations and Deferred count the strategy-specific events of the
+	// run (cross-CPU moves, spawned handler tasks). Zero — and therefore
+	// omitted, keeping the pre-existing fixtures byte-identical — for the
+	// plain OOO strategy.
+	Migrations int `json:"migrations,omitempty"`
+	Deferred   int `json:"deferred,omitempty"`
 }
 
 // oooFixture captures the OOO strategy over one (bug, program) pair: the
@@ -86,12 +92,27 @@ type golden struct {
 	// Full campaigns through the serial fuzzer and the parallel pool.
 	Fuzzer campaignFixture `json:"fuzzer"`
 	Pool   campaignFixture `json:"pool"`
+	// Migration strategy: Table 4 #6 reproduced organically via real
+	// cross-CPU moves at scheduling points (no migration assist).
+	MigrationSbitmap oooFixture `json:"migration_sbitmap"`
+	// Deferred strategy: the Fig. 1 program with the interrupt handler
+	// spawned as a schedulable task at the deferral point instead of
+	// drained synchronously.
+	DeferredWQ oooFixture `json:"deferred_wq"`
 }
 
 func captureOOO(t *testing.T, bugSwitch, progSrc string, pairI, pairJ int) oooFixture {
 	t.Helper()
+	return captureStrategy(t, nil, bugSwitch, progSrc, pairI, pairJ)
+}
+
+// captureStrategy is captureOOO with the MTI engine strategy selectable
+// (nil = the default OOO executor).
+func captureStrategy(t *testing.T, strat engine.Strategy, bugSwitch, progSrc string, pairI, pairJ int) oooFixture {
+	t.Helper()
 	mods := []string{modsOf(t, bugSwitch)}
 	env := core.NewEnv(mods, modules.Bugs(bugSwitch))
+	env.Strategy = strat
 	target := modules.Target(mods...)
 	p, err := target.Parse(progSrc)
 	if err != nil {
@@ -111,7 +132,10 @@ func captureOOO(t *testing.T, bugSwitch, progSrc string, pairI, pairJ int) oooFi
 	fx.Hints = len(hs)
 	for _, h := range hs {
 		res := env.RunMTI(core.MTIOpts{Prog: p, I: pairI, J: pairJ, Hint: h})
-		o := mtiOutcome{Fired: res.Fired, Reordered: res.Reordered, CovEdges: len(res.Cov)}
+		o := mtiOutcome{
+			Fired: res.Fired, Reordered: res.Reordered, CovEdges: len(res.Cov),
+			Migrations: res.Migrations, Deferred: res.DeferredTasks,
+		}
 		if res.Crash != nil {
 			o.Title = res.Crash.Title
 		}
@@ -129,18 +153,35 @@ func modsOf(t *testing.T, bugSwitch string) string {
 	return b.Module
 }
 
+// conformanceModules pins the campaign fixtures' module universe to the
+// corpus as of the golden capture, in registry (sorted) order. Modules
+// added later join the fuzzing corpus without invalidating the
+// pre-refactor goldens; their bug switches in the campaign's Bugs set are
+// inert when the module is not built.
+var conformanceModules = []string{
+	"bpf", "btrfs", "fdtable", "filemap", "gsm", "irdma", "nbd",
+	"rcudev", "rds", "rustsync", "sbitmap", "seqtime", "smc", "tls",
+	"unixsock", "vfs", "vlan", "vmci", "watchqueue", "xsk",
+}
+
 func allOOOSwitches() []string {
 	var switches []string
 	for _, b := range modules.AllBugs() {
-		if b.Switch != "sbitmap:migration_assist" {
-			switches = append(switches, b.Switch)
+		if _, deprecated := modules.DeprecatedSwitches[b.Switch]; deprecated {
+			continue
 		}
+		switches = append(switches, b.Switch)
 	}
 	return switches
 }
 
 func campaignConfig() core.Config {
-	return core.Config{Bugs: modules.Bugs(allOOOSwitches()...), Seed: 1, UseSeeds: true}
+	return core.Config{
+		Modules:  conformanceModules,
+		Bugs:     modules.Bugs(allOOOSwitches()...),
+		Seed:     1,
+		UseSeeds: true,
+	}
 }
 
 func captureCampaignStats(s core.Stats, titles []string, ooo, reports, cov int) campaignFixture {
@@ -231,6 +272,13 @@ func capture(t *testing.T) golden {
 	g.Pool = captureCampaignStats(ps,
 		append([]string{}, pl.Reports.Titles()...), pooo, pl.Reports.Len(), pl.CoverageEdges())
 
+	// --- Migration: Table 4 #6 via real cross-CPU moves (no assist).
+	const sbProg = "r0 = sb_init()\nsb_get(r0)\nsb_get(r0)\nsb_get(r0)\nsb_resize(r0, 0x3)\nsb_get(r0)\n"
+	g.MigrationSbitmap = captureStrategy(t, engine.Migration{}, "sbitmap:freed_order", sbProg, 4, 5)
+
+	// --- Deferred: Fig. 1 with the handler spawned as a task.
+	g.DeferredWQ = captureStrategy(t, engine.Deferred{}, "watchqueue:pipe_wmb", wqProg, 1, 2)
+
 	return g
 }
 
@@ -280,6 +328,8 @@ func TestEngineConformance(t *testing.T) {
 	check("kcsan_bitlock_titles", got.KCSANBitlockTitles, want.KCSANBitlockTitles)
 	check("fuzzer_campaign", got.Fuzzer, want.Fuzzer)
 	check("pool_campaign", got.Pool, want.Pool)
+	check("migration_sbitmap", got.MigrationSbitmap, want.MigrationSbitmap)
+	check("deferred_wq", got.DeferredWQ, want.DeferredWQ)
 }
 
 // TestCrossStrategyProperties pins the relationships BETWEEN strategies
@@ -366,7 +416,69 @@ func TestCrossStrategyProperties(t *testing.T) {
 		}
 	})
 
-	// Property 3: Algorithm 2 (filter_out) drops only accesses that can
+	// Property 3: the Migration strategy degenerates to plain OOO whenever
+	// a hint carries no per-CPU migration sites — the MigrateAt wrapper is
+	// only installed for migration-annotated hints, so on every other hint
+	// the two strategies must be indistinguishable run by run: same crash,
+	// same returns, same reorder count, same coverage, and zero cross-CPU
+	// moves. Checked over every module's seed corpus.
+	t.Run("migration-without-sites-is-ooo", func(t *testing.T) {
+		bugs := modules.Bugs(allOOOSwitches()...)
+		target := modules.Target()
+		envO := core.NewEnv(nil, bugs)
+		envM := core.NewEnv(nil, bugs)
+		envM.Strategy = engine.Migration{}
+		checked := 0
+		for i, src := range modules.Seeds() {
+			p, err := target.Parse(src)
+			if err != nil {
+				t.Fatalf("seed %d: %v", i, err)
+			}
+			sti := envO.RunSTI(p)
+			if sti.Crash != nil || len(sti.CallEvents) < 2 {
+				continue
+			}
+			for a := 0; a < len(sti.CallEvents)-1; a++ {
+				for b := a + 1; b < len(sti.CallEvents); b++ {
+					for _, h := range hints.Calculate(sti.CallEvents[a], sti.CallEvents[b]) {
+						if len(h.Migrate) != 0 {
+							continue
+						}
+						opts := core.MTIOpts{Prog: p, I: a, J: b, Hint: h}
+						ro := envO.RunMTI(opts)
+						rm := envM.RunMTI(opts)
+						if rm.Migrations != 0 {
+							t.Fatalf("seed %d pair (%d,%d) hint %s: %d migrations without migration sites",
+								i, a, b, h, rm.Migrations)
+						}
+						if (ro.Crash == nil) != (rm.Crash == nil) ||
+							(ro.Crash != nil && ro.Crash.Title != rm.Crash.Title) {
+							t.Fatalf("seed %d pair (%d,%d) hint %s: crash differs: ooo=%v migration=%v",
+								i, a, b, h, ro.Crash, rm.Crash)
+						}
+						if ro.Fired != rm.Fired || ro.Reordered != rm.Reordered {
+							t.Fatalf("seed %d pair (%d,%d) hint %s: fired/reordered differ: (%v,%d) vs (%v,%d)",
+								i, a, b, h, ro.Fired, ro.Reordered, rm.Fired, rm.Reordered)
+						}
+						if !reflect.DeepEqual(ro.Returns, rm.Returns) {
+							t.Fatalf("seed %d pair (%d,%d) hint %s: returns differ: %v vs %v",
+								i, a, b, h, ro.Returns, rm.Returns)
+						}
+						if len(ro.Cov) != len(rm.Cov) {
+							t.Fatalf("seed %d pair (%d,%d) hint %s: coverage differs: %d vs %d edges",
+								i, a, b, h, len(ro.Cov), len(rm.Cov))
+						}
+						checked++
+					}
+				}
+			}
+		}
+		if checked == 0 {
+			t.Fatal("no migration-free hints in the whole seed corpus")
+		}
+	})
+
+	// Property 4: Algorithm 2 (filter_out) drops only accesses that can
 	// never contribute to a hint — running Algorithm 1 on pre-filtered
 	// sequences yields the exact same hint set (FilterOut is idempotent
 	// inside Calculate).

@@ -94,8 +94,9 @@ func TestRunTable3AllFound(t *testing.T) {
 	}
 }
 
-// TestRunTable4Shape: 8 of 9 reproduce; sbitmap fails without and succeeds
-// with the migration assist; the S-S/L-L split matches the paper (5+3).
+// TestRunTable4Shape: all 9 reproduce (sbitmap via its declared Migration
+// strategy); the S-S/L-L split matches the paper's corpus (6+3 with the
+// sbitmap S-S row included); the pinned-thread control stays negative.
 func TestRunTable4Shape(t *testing.T) {
 	rows := RunTable4(80)
 	if len(rows) != 9 {
@@ -103,12 +104,6 @@ func TestRunTable4Shape(t *testing.T) {
 	}
 	repro, ss, ll := 0, 0, 0
 	for _, r := range rows {
-		if r.Bug.Switch == "sbitmap:freed_order" {
-			if r.Found {
-				t.Error("sbitmap reproduced without the migration assist")
-			}
-			continue
-		}
 		if !r.Found {
 			t.Errorf("bug %s not reproduced", r.Bug.ID)
 			continue
@@ -121,14 +116,14 @@ func TestRunTable4Shape(t *testing.T) {
 			ll++
 		}
 	}
-	if repro != 8 {
-		t.Errorf("reproduced %d, want 8", repro)
+	if repro != 9 {
+		t.Errorf("reproduced %d, want 9", repro)
 	}
-	if ss != 5 || ll != 3 {
-		t.Errorf("type split %d S-S / %d L-L, want 5/3", ss, ll)
+	if ss != 6 || ll != 3 {
+		t.Errorf("type split %d S-S / %d L-L, want 6/3", ss, ll)
 	}
-	if assist := RunSbitmapAssist(80); !assist.Found {
-		t.Error("sbitmap not reproduced with the migration assist")
+	if pinned := RunSbitmapPinned(80); pinned.Found {
+		t.Error("sbitmap reproduced under pinned-thread OOO; the negative control must stay negative")
 	}
 }
 

@@ -34,6 +34,7 @@ func Micros() []Micro {
 		{"model_dispatch", MicroModelDispatch},
 		{"sched_yield", MicroSchedYield},
 		{"sched_switch", MicroSchedSwitch},
+		{"combinator_dispatch", MicroCombinatorDispatch},
 		{"kmem_check", MicroKmemCheck},
 	}
 }
@@ -159,6 +160,28 @@ func MicroSchedSwitch(b *testing.B) {
 	s.Spawn(1, 1, body)
 	s.Spawn(2, 2, body)
 	s.Run()
+}
+
+// MicroCombinatorDispatch measures a scheduling point dispatched through
+// the predicate-combinator stack the Migration strategy builds
+// (MigrateAt → Guarded → Breakpoint) on its non-matching fast path — the
+// cost every yield pays when a migration-aware policy is armed but idle.
+func MicroCombinatorDispatch(b *testing.B) {
+	bp := &sched.Breakpoint{FromTask: 0, Instr: 1 << 30, Pos: sched.PosBefore, ToTask: 1}
+	g := &sched.Guarded{Inner: bp, When: sched.And(sched.OnTask(0), sched.Not(sched.OnNthOccurrence(1<<30, 1)))}
+	m := &sched.MigrateAt{Inner: g, Task: 1, ToCPU: 0}
+	s := sched.NewSession(m)
+	s.Spawn(0, 0, func(h *sched.Task) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.OnYield(h, 7)
+		}
+	})
+	s.Spawn(1, 1, func(h *sched.Task) {})
+	if aborted := s.Run(); aborted != nil {
+		b.Fatalf("aborted: %v", aborted)
+	}
 }
 
 // MicroKmemCheck measures one sanitized word access: the KASAN-style

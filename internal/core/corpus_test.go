@@ -11,12 +11,22 @@ import (
 // switch active and returns the matching report (nil if not found).
 func findBug(t *testing.T, b modules.BugInfo, extraSwitches ...string) *testReport {
 	t.Helper()
+	r, _ := findBugUnder(t, b, "", extraSwitches...)
+	return r
+}
+
+// findBugUnder is findBug with the campaign's engine strategy selectable
+// ("" = default OOO); it also returns the campaign counters so callers can
+// assert on strategy activity (Stats.Migrations, Stats.DeferredTasks).
+func findBugUnder(t *testing.T, b modules.BugInfo, strategy string, extraSwitches ...string) (*testReport, Stats) {
+	t.Helper()
 	sw := append([]string{b.Switch}, extraSwitches...)
 	f := NewFuzzer(Config{
 		Modules:  []string{b.Module},
 		Bugs:     modules.Bugs(sw...),
 		Seed:     42,
 		UseSeeds: true,
+		Strategy: strategy,
 	})
 	want := b.Title
 	if want == "" {
@@ -24,9 +34,9 @@ func findBug(t *testing.T, b modules.BugInfo, extraSwitches ...string) *testRepo
 	}
 	r := f.RunUntil(want, 120)
 	if r == nil {
-		return nil
+		return nil, f.Stats
 	}
-	return &testReport{Title: r.Title, Type: r.Type, OOO: r.OOO, HintRank: r.HintRank}
+	return &testReport{Title: r.Title, Type: r.Type, OOO: r.OOO, HintRank: r.HintRank, Strategy: r.Strategy}, f.Stats
 }
 
 type testReport struct {
@@ -34,6 +44,7 @@ type testReport struct {
 	Type     string
 	OOO      bool
 	HintRank int
+	Strategy string
 }
 
 // typeMatches accepts any of the "/"-separated expected reordering types.
@@ -53,9 +64,11 @@ func TestCorpusAllBugsFound(t *testing.T) {
 	for _, b := range modules.AllBugs() {
 		b := b
 		t.Run(b.ID+"/"+b.Switch, func(t *testing.T) {
-			if b.Switch == "sbitmap:freed_order" {
-				// Covered by TestSbitmapNotReproducedWithoutMigration.
-				t.Skip("per-CPU + migration bug: see dedicated tests")
+			if b.Strategy != "" {
+				// Needs a non-default engine strategy: covered by
+				// TestStrategyBugsReproduced (and the sbitmap-specific
+				// tests below).
+				t.Skipf("requires -strategy %s: see dedicated tests", b.Strategy)
 			}
 			if b.Type == "" {
 				// Non-OOO (plain interleaving) bugs belong to the
@@ -120,6 +133,93 @@ func TestSbitmapReproducedWithMigrationAssist(t *testing.T) {
 	}
 }
 
+// TestSbitmapReproducedByMigrationStrategy is the tentpole result: the
+// Migration strategy reproduces Table 4 #6 ORGANICALLY — no migration
+// assist, no kernel modification. The sequential profile shares the
+// per-CPU hint (both calls ran on CPU 0), Algorithm 1 emits a
+// migration-annotated hint, and MigrateAt moves the observer onto the
+// prefix CPU at the scheduling point without flushing the reorderer's
+// store buffer.
+func TestSbitmapReproducedByMigrationStrategy(t *testing.T) {
+	b, ok := modules.FindBug("sbitmap:freed_order")
+	if !ok {
+		t.Fatal("sbitmap bug not registered")
+	}
+	r, stats := findBugUnder(t, b, "migration")
+	if r == nil {
+		t.Fatal("sbitmap bug not reproduced by the Migration strategy")
+	}
+	if !r.OOO {
+		t.Error("sbitmap finding not classified as OOO")
+	}
+	if r.Type != "S-S" {
+		t.Errorf("expected S-S, got %s", r.Type)
+	}
+	if r.Strategy != "migration" {
+		t.Errorf("report strategy = %q, want migration", r.Strategy)
+	}
+	if stats.Migrations == 0 {
+		t.Error("Stats.Migrations = 0: no cross-CPU move ever happened")
+	}
+}
+
+// TestStrategyBugsReproduced covers every corpus bug that declares a
+// required engine strategy (BugInfo.Strategy): each must reproduce under
+// that strategy and must exercise it (the strategy counter moves).
+func TestStrategyBugsReproduced(t *testing.T) {
+	ran := 0
+	for _, b := range modules.AllBugs() {
+		if b.Strategy == "" {
+			continue
+		}
+		b := b
+		ran++
+		t.Run(b.ID+"/"+b.Switch, func(t *testing.T) {
+			r, stats := findBugUnder(t, b, b.Strategy)
+			if r == nil {
+				t.Fatalf("bug %s not reproduced under -strategy %s", b.ID, b.Strategy)
+			}
+			if !r.OOO {
+				t.Errorf("bug %s found but not via a reordering test", b.ID)
+			}
+			if !typeMatches(b.Type, r.Type) {
+				t.Errorf("bug %s: expected type %s, got %s", b.ID, b.Type, r.Type)
+			}
+			if b.Strategy == "migration" && stats.Migrations == 0 {
+				t.Error("migration strategy reproduced the bug without migrating")
+			}
+			if b.Strategy == "deferred" && stats.DeferredTasks == 0 {
+				t.Error("deferred strategy reproduced the bug without spawning handlers")
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no strategy-gated bugs in the corpus")
+	}
+}
+
+// TestDeferredStrategyCampaign pins the Deferred strategy's campaign
+// behavior: deferral points spawn handler tasks (the counter moves), and
+// deferring the interrupt — rather than draining the store buffer at the
+// switch like the InterruptOnSwitch ablation — keeps the reorder window
+// open, so the Fig. 1 watchqueue bug still reproduces.
+func TestDeferredStrategyCampaign(t *testing.T) {
+	b, ok := modules.FindBug("watchqueue:pipe_wmb")
+	if !ok {
+		t.Fatal("watchqueue bug not registered")
+	}
+	r, stats := findBugUnder(t, b, "deferred")
+	if r == nil {
+		t.Fatal("watchqueue bug not reproduced under the Deferred strategy")
+	}
+	if stats.DeferredTasks == 0 {
+		t.Error("Stats.DeferredTasks = 0: no handler task ever spawned")
+	}
+	if r.Strategy != "deferred" {
+		t.Errorf("report strategy = %q, want deferred", r.Strategy)
+	}
+}
+
 // TestSoakCampaign is the long-form integration test: one whole-corpus
 // campaign with every OOO switch active must find EVERY reproducible corpus
 // bug, and every OOO-classified finding must correspond to a known corpus
@@ -131,7 +231,7 @@ func TestSoakCampaign(t *testing.T) {
 	var switches []string
 	expected := map[string]string{} // title -> bug id
 	for _, b := range modules.AllBugs() {
-		if b.Type == "" || b.Switch == "sbitmap:freed_order" {
+		if b.Type == "" || b.Strategy != "" {
 			continue
 		}
 		switches = append(switches, b.Switch)

@@ -48,6 +48,14 @@ type Env struct {
 	// model-relative — the fuzzer must pair this Env with
 	// hints.CalculateModel over the same model.
 	Model *memmodel.Table
+	// Strategy is the engine strategy MTI runs execute under (nil = the
+	// default engine.OOO). Migration and Deferred extend the
+	// hypothetical-barrier test with cross-CPU moves and deferred-work
+	// injection; see engine.ParseStrategy. STI profiling always runs the
+	// plain sequential path regardless of this field — a profile is a
+	// pure function of the program and must stay strategy-independent so
+	// the memoized cache can be shared.
+	Strategy engine.Strategy
 
 	eng *engine.Engine
 }
@@ -123,12 +131,21 @@ func (e *Env) RunSTICached(p *syzlang.Program) *STIResult {
 	return e.eng.RunCached(e.config(), engine.OOO{}, engine.Request{Prog: p, Profile: true})
 }
 
+// mtiStrategy resolves the strategy MTI runs execute under.
+func (e *Env) mtiStrategy() engine.Strategy {
+	if e.Strategy != nil {
+		return e.Strategy
+	}
+	return engine.OOO{}
+}
+
 // RunMTI executes one multi-threaded input: the program's calls before J
 // (except I) run sequentially to build kernel state; then calls I and J run
 // concurrently on two CPUs under the hint's breakpoint policy with the
-// hint's OEMU directives installed (Fig. 5).
+// hint's OEMU directives installed (Fig. 5), all under the environment's
+// strategy (default OOO).
 func (e *Env) RunMTI(o MTIOpts) *MTIResult {
-	return e.eng.Run(e.config(), engine.OOO{}, o)
+	return e.eng.Run(e.config(), e.mtiStrategy(), o)
 }
 
 // RunMTIUnder is RunMTI with the environment's memory model overridden
@@ -138,7 +155,7 @@ func (e *Env) RunMTI(o MTIOpts) *MTIResult {
 func (e *Env) RunMTIUnder(o MTIOpts, mm *memmodel.Table) *MTIResult {
 	cfg := e.config()
 	cfg.Model = mm
-	return e.eng.Run(cfg, engine.OOO{}, o)
+	return e.eng.Run(cfg, e.mtiStrategy(), o)
 }
 
 // PairName renders a concurrent pair for reports.

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"ozz/internal/engine"
 	"ozz/internal/hints"
 	"ozz/internal/memmodel"
 	"ozz/internal/modules"
@@ -48,6 +49,14 @@ type Config struct {
 	// findings are additionally probed under every other registered
 	// model to fill the report's "reorders under" line.
 	Model *memmodel.Table
+	// Strategy selects the engine strategy MTI runs execute under:
+	// "" or "ooo" (default), "migration", or "deferred" — see
+	// engine.ParseStrategy. Migration performs real cross-CPU task moves
+	// at migration-sensitive scheduling points (Table 4 #6); Deferred
+	// models interrupt handlers as schedulable deferred-work tasks.
+	// Campaign findings under a non-default strategy carry it in
+	// report.Report.Strategy.
+	Strategy string
 	// Repair, when true, runs the automatic fence-repair search
 	// (internal/repair) on every newly-discovered OOO finding and
 	// attaches the ranked patch suggestions to the report's SuggestedFix
@@ -94,6 +103,14 @@ func newEnvFromConfig(cfg Config) *Env {
 	env.NrCPU = cfg.NrCPU
 	env.InterruptOnSwitch = cfg.InterruptOnSwitch
 	env.Model = cfg.Model
+	st, err := engine.ParseStrategy(cfg.Strategy)
+	if err != nil {
+		// Mirrors modules.Target's unknown-module contract: a bad label is
+		// a caller bug, and CLIs validate the flag before building a
+		// campaign.
+		panic(err)
+	}
+	env.Strategy = st
 	return env
 }
 
@@ -108,6 +125,17 @@ type Stats struct {
 	Vacuous   uint64 // MTIs whose scheduling point never fired
 	NewCov    uint64 // runs that grew coverage
 	CorpusLen int    // programs in the coverage corpus
+
+	// Migrations counts real cross-CPU task moves the Migration strategy
+	// performed at scheduling points (0 under other strategies). Like the
+	// counters above it sums only the primary MTI loop — triage re-runs
+	// and cross-model probes are observation-only — so it is identical
+	// across worker counts.
+	Migrations uint64
+	// DeferredTasks counts deferred-work handler tasks the Deferred
+	// strategy spawned at deferral points (0 under other strategies);
+	// primary MTI loop only, deterministic like Migrations.
+	DeferredTasks uint64
 
 	// Perf holds throughput and reuse metrics. Unlike the counters above
 	// these depend on wall-clock time and goroutine scheduling, so they
@@ -351,6 +379,8 @@ func (f *Fuzzer) Step() []*report.Report {
 			observe(f.co.stMTI, mStart)
 			f.Stats.MTIs++
 			f.co.mtis.Inc()
+			f.Stats.Migrations += uint64(res.Migrations)
+			f.Stats.DeferredTasks += uint64(res.DeferredTasks)
 			if !res.Fired {
 				f.Stats.Vacuous++
 				f.co.vacuous.Inc()
@@ -393,6 +423,7 @@ func (f *Fuzzer) harvest(p *syzlang.Program, i, j int, h *hints.Hint, rank int, 
 		}
 		if r.OOO {
 			r.Type = h.Type()
+			r.Strategy = nonDefaultStrategy(f.cfg.Strategy)
 			r.HypBarrier = fmt.Sprintf("before %s (%s)", modules.SiteName(h.Sched), h.Test)
 			for _, s := range h.Reorder {
 				r.ReorderedSites = append(r.ReorderedSites, modules.SiteName(s))
@@ -416,6 +447,7 @@ func (f *Fuzzer) harvest(p *syzlang.Program, i, j int, h *hints.Hint, rank int, 
 		r := &report.Report{
 			Title: s, Oracle: "semantic", OOO: true,
 			Type:       h.Type(),
+			Strategy:   nonDefaultStrategy(f.cfg.Strategy),
 			HypBarrier: fmt.Sprintf("before %s (%s)", modules.SiteName(h.Sched), h.Test),
 			Pair:       PairName(p, i, j),
 			Program:    p.String(),
@@ -467,6 +499,17 @@ func repairFinding(env *Env, cfg *Config, co *campaignObs, p *syzlang.Program, i
 		Title:  title,
 		Soft:   soft,
 	}, env, repair.Options{Model: cfg.Model, Metrics: co.repair})
+}
+
+// nonDefaultStrategy returns the campaign's strategy label when it is not
+// the default OOO executor, "" otherwise — reports carry only the
+// non-default case, so default-campaign outputs (and their goldens) are
+// byte-identical to before the strategy knob existed.
+func nonDefaultStrategy(name string) string {
+	if name == "ooo" {
+		return ""
+	}
+	return name
 }
 
 // probeModels is the serial fuzzer's cross-model probe; the divergence

@@ -387,6 +387,10 @@ type jobResult struct {
 	mtis    uint64
 	hints   uint64
 	vacuous uint64
+	// migrations/deferred mirror Stats.Migrations/DeferredTasks for this
+	// step's primary MTI loop (commutative sums, merged in index order).
+	migrations uint64
+	deferred   uint64
 }
 
 // planStep picks step idx's program exactly like Fuzzer.nextProgram, from
@@ -462,6 +466,8 @@ func (p *Pool) runJob(jb job, wid int) jobResult {
 			mres := p.env.RunMTI(MTIOpts{Prog: jb.prog, I: i, J: j, Hint: h})
 			observe(p.co.stMTI, mStart)
 			res.mtis++
+			res.migrations += uint64(mres.Migrations)
+			res.deferred += uint64(mres.DeferredTasks)
 			if !mres.Fired {
 				res.vacuous++
 			}
@@ -502,6 +508,7 @@ func (p *Pool) harvestJob(res *jobResult, prog *syzlang.Program, i, j int, h *hi
 		var rr *repair.Result
 		if r.OOO {
 			r.Type = h.Type()
+			r.Strategy = nonDefaultStrategy(p.cfg.Strategy)
 			r.HypBarrier = fmt.Sprintf("before %s (%s)", modules.SiteName(h.Sched), h.Test)
 			for _, s := range h.Reorder {
 				r.ReorderedSites = append(r.ReorderedSites, modules.SiteName(s))
@@ -533,6 +540,7 @@ func (p *Pool) harvestJob(res *jobResult, prog *syzlang.Program, i, j int, h *hi
 		r := &report.Report{
 			Title: s, Oracle: "semantic", OOO: true,
 			Type:       h.Type(),
+			Strategy:   nonDefaultStrategy(p.cfg.Strategy),
 			HypBarrier: fmt.Sprintf("before %s (%s)", modules.SiteName(h.Sched), h.Test),
 			Pair:       PairName(prog, i, j),
 			Program:    prog.String(),
@@ -570,6 +578,8 @@ func (p *Pool) merge(res *jobResult, stiNew int, found *[]*report.Report) {
 	p.stats.MTIs += res.mtis
 	p.stats.Hints += res.hints
 	p.stats.Vacuous += res.vacuous
+	p.stats.Migrations += res.migrations
+	p.stats.DeferredTasks += res.deferred
 	p.co.steps.Inc()
 	p.co.stis.Inc()
 	p.co.mtis.Add(res.mtis)

@@ -13,9 +13,10 @@ import (
 func allBugSwitches() modules.BugSet {
 	var names []string
 	for _, b := range modules.AllBugs() {
-		if b.Switch != "sbitmap:migration_assist" {
-			names = append(names, b.Switch)
+		if _, deprecated := modules.DeprecatedSwitches[b.Switch]; deprecated {
+			continue
 		}
+		names = append(names, b.Switch)
 	}
 	return modules.Bugs(names...)
 }
@@ -33,7 +34,14 @@ type campaignFingerprint struct {
 
 func fingerprint(t *testing.T, workers, steps int) campaignFingerprint {
 	t.Helper()
-	p := NewPool(Config{Seed: 7, UseSeeds: true, Bugs: allBugSwitches()}, workers)
+	return fingerprintUnder(t, "", workers, steps)
+}
+
+// fingerprintUnder is fingerprint with the engine strategy selectable
+// ("" = default OOO).
+func fingerprintUnder(t *testing.T, strategy string, workers, steps int) campaignFingerprint {
+	t.Helper()
+	p := NewPool(Config{Seed: 7, UseSeeds: true, Bugs: allBugSwitches(), Strategy: strategy}, workers)
 	var found []string
 	for _, r := range p.Run(steps) {
 		found = append(found, r.Title)
@@ -92,6 +100,53 @@ func TestPoolDeterministicAcrossWorkers(t *testing.T) {
 		if !reflect.DeepEqual(got.found, base.found) {
 			t.Errorf("workers=%d discovery order = %v, want %v", workers, got.found, base.found)
 		}
+	}
+}
+
+// TestPoolStrategyDeterministicAcrossWorkers extends the executor's core
+// guarantee to the Migration and Deferred strategies: a fixed-seed campaign
+// under either strategy produces byte-identical results — counters
+// (including the strategy's own Migrations/DeferredTasks), coverage,
+// corpus, reports, and discovery order — at 1, 2, and 8 workers. The base
+// run is the 1-worker (serial-order) campaign.
+func TestPoolStrategyDeterministicAcrossWorkers(t *testing.T) {
+	const steps = 120
+	for _, strategy := range []string{"migration", "deferred"} {
+		strategy := strategy
+		t.Run(strategy, func(t *testing.T) {
+			base := fingerprintUnder(t, strategy, 1, steps)
+			if base.stats.MTIs == 0 || len(base.cov) == 0 {
+				t.Fatalf("campaign did no work: %+v", base.stats)
+			}
+			switch strategy {
+			case "migration":
+				if base.stats.Migrations == 0 {
+					t.Error("Stats.Migrations = 0: the strategy never migrated")
+				}
+			case "deferred":
+				if base.stats.DeferredTasks == 0 {
+					t.Error("Stats.DeferredTasks = 0: the strategy never spawned a handler")
+				}
+			}
+			for _, workers := range []int{2, 8} {
+				got := fingerprintUnder(t, strategy, workers, steps)
+				if got.stats != base.stats {
+					t.Errorf("workers=%d stats = %+v, want %+v", workers, got.stats, base.stats)
+				}
+				if !reflect.DeepEqual(got.cov, base.cov) {
+					t.Errorf("workers=%d coverage diverged: %d edges vs %d", workers, len(got.cov), len(base.cov))
+				}
+				if !reflect.DeepEqual(got.corpus, base.corpus) {
+					t.Errorf("workers=%d corpus diverged (%d vs %d programs)", workers, len(got.corpus), len(base.corpus))
+				}
+				if !reflect.DeepEqual(got.reports, base.reports) {
+					t.Errorf("workers=%d full reports diverged", workers)
+				}
+				if !reflect.DeepEqual(got.found, base.found) {
+					t.Errorf("workers=%d discovery order = %v, want %v", workers, got.found, base.found)
+				}
+			}
+		})
 	}
 }
 

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"ozz/internal/hints"
 	"ozz/internal/kernel"
 	"ozz/internal/sched"
@@ -105,8 +107,17 @@ func (OOO) Attach(k *kernel.Kernel, req *Request) {
 // Pair implements Strategy: the hint selects reorderer/observer roles,
 // the directive kind, and the breakpoint position.
 func (OOO) Pair(cfg *Config, req *Request) *PairPlan {
+	plan, _ := oooPair(cfg, req)
+	return plan
+}
+
+// oooPair builds the hypothetical-barrier pair plan shared by the OOO,
+// Migration, and Deferred strategies, returning the breakpoint so wrappers
+// can compose policies or re-point the fire hook. Nil without a hint (the
+// sequential/STI path).
+func oooPair(cfg *Config, req *Request) (*PairPlan, *sched.Breakpoint) {
 	if req.Hint == nil {
-		return nil
+		return nil, nil
 	}
 	hint := req.Hint
 	callA, callB := req.I, req.J
@@ -145,7 +156,93 @@ func (OOO) Pair(cfg *Config, req *Request) *PairPlan {
 			res.Reordered = ta.OEMU().ReorderedCount()
 			res.ReorderLog = append(res.ReorderLog, ta.OEMU().Log...)
 		},
+	}, bp
+}
+
+// Migration is the migration-aware OOO strategy (Table 4 #6, §6.2): it runs
+// the same hypothetical-barrier test as OOO, but when the hint is
+// migration-sensitive (Hint.Migrate non-empty — the racing pair shares a
+// per-CPU location) the breakpoint is wrapped in a sched.MigrateAt
+// combinator that moves the observer task to CPU 0 — the CPU the
+// sequential prefix ran on, where the stale per-CPU state lives — at the
+// moment the scheduling point fires. The move does not flush the
+// reorderer's store buffer, so the delayed stores stay delayed while the
+// observer re-resolves per-CPU addresses on its new CPU. For hints with no
+// migration sites the plan is exactly OOO's, by construction.
+//
+// The directive-plan cache needs no migration awareness: a migration is
+// schedule state (a policy), not an OEMU directive, so cached plans keyed
+// by (program, test, sites) stay valid across strategies.
+type Migration struct{}
+
+// Name implements Strategy.
+func (Migration) Name() string { return "migration" }
+
+// Attach implements Strategy (same history-tracking rule as OOO).
+func (Migration) Attach(k *kernel.Kernel, req *Request) { OOO{}.Attach(k, req) }
+
+// Pair implements Strategy: OOO's plan, with the policy wrapped in
+// MigrateAt for migration-sensitive hints.
+func (Migration) Pair(cfg *Config, req *Request) *PairPlan {
+	plan, bp := oooPair(cfg, req)
+	if plan == nil || len(req.Hint.Migrate) == 0 {
+		return plan
 	}
+	ma := &sched.MigrateAt{Inner: bp, Task: bp.ToTask, ToCPU: 0}
+	plan.Policy = ma
+	inner := plan.Finish
+	plan.Finish = func(res *Result, ta, tb *kernel.Task) {
+		inner(res, ta, tb)
+		res.Migrations = ma.Migrations
+	}
+	return plan
+}
+
+// deferredTaskID is the session task id of a spawned deferred-work handler.
+// The pair session uses ids 0 (prefix), 1 (reorderer), and 2 (observer);
+// the suffix runs in a separate session, so 3 is free.
+const deferredTaskID = 3
+
+// Deferred models softirq/workqueue deferral as a first-class strategy: at
+// the hint's scheduling point it spawns a handler task into the running
+// session instead of synchronously draining the reorderer's store buffer
+// the way the InterruptOnSwitch ablation does. The handler (task 3) runs
+// the drain when the scheduler picks it — after the observer and the
+// resumed reorderer, in spawn order — so the reordering window stays open
+// across the switch and OOO bugs remain reproducible, while the deferred
+// work still executes exactly once per fired scheduling point, like a
+// ksoftirqd thread scheduled behind the current work.
+type Deferred struct{}
+
+// Name implements Strategy.
+func (Deferred) Name() string { return "deferred" }
+
+// Attach implements Strategy (same history-tracking rule as OOO).
+func (Deferred) Attach(k *kernel.Kernel, req *Request) { OOO{}.Attach(k, req) }
+
+// Pair implements Strategy: OOO's plan, with the breakpoint's fire hook
+// spawning the deferred handler instead of honouring InterruptOnSwitch.
+func (Deferred) Pair(cfg *Config, req *Request) *PairPlan {
+	plan, bp := oooPair(cfg, req)
+	if plan == nil {
+		return nil
+	}
+	spawned := 0
+	plan.Arm = func(ta, _ *kernel.Task) {
+		bp.OnSwitch = func() {
+			st := ta.Sched()
+			spawned++
+			st.Session().Spawn(deferredTaskID, st.CPU, func(*sched.Task) {
+				ta.Interrupt()
+			})
+		}
+	}
+	inner := plan.Finish
+	plan.Finish = func(res *Result, ta, tb *kernel.Task) {
+		inner(res, ta, tb)
+		res.DeferredTasks = spawned
+	}
+	return plan
 }
 
 // Sequential is the syzkaller-baseline strategy: every program runs
@@ -188,4 +285,22 @@ func (iv Interleave) Pair(_ *Config, req *Request) *PairPlan {
 		CallA:  req.I,
 		CallB:  req.J,
 	}
+}
+
+// ParseStrategy resolves a campaign-facing strategy label to the built-in
+// strategy it names. The empty string selects the default OOO executor.
+// Only the hypothetical-barrier family is accepted — "ooo", "migration",
+// and "deferred" — because the fuzzing workflow's hint search presumes a
+// breakpoint-driven MTI stage; the sequential/interleave/kcsan baselines
+// are separate drivers (internal/baseline), not campaign knobs.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "", "ooo":
+		return OOO{}, nil
+	case "migration":
+		return Migration{}, nil
+	case "deferred":
+		return Deferred{}, nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q (want ooo, migration, or deferred)", name)
 }

@@ -97,6 +97,15 @@ type Hint struct {
 	// test, loads for a load test) are retained, since only those can be
 	// delayed/versioned.
 	Reorder []trace.InstrID
+	// Migrate lists the pair's per-CPU instruction sites (accesses tagged
+	// trace.AccessEvent.PerCPU that survived FilterOut), sorted and
+	// deduplicated. A non-empty set marks the pair migration-sensitive:
+	// the racing location is a per-CPU slot, so the race only manifests
+	// when one task moves CPUs between resolving the address and using it.
+	// The Migration strategy performs a real cross-CPU move exactly for
+	// such hints and degrades to plain OOO when the set is empty. It is an
+	// annotation: it does not participate in hint rendering or directives.
+	Migrate []trace.InstrID
 }
 
 // ReorderCount is the search-heuristic key: the number of accesses that
@@ -223,6 +232,7 @@ func Calculate(si, sj []trace.Event) []*Hint {
 // reorderings unobservable, so those hints would only burn executions.
 func CalculateModel(si, sj []trace.Event, mm *memmodel.Table) []*Hint {
 	fi, fj := FilterOut(si, sj)
+	migrate := perCPUSites(fi, fj)
 	var hints []*Hint
 	for k, events := range [][]trace.Event{fi, fj} {
 		for _, test := range []TestKind{StoreBarrierTest, LoadBarrierTest} {
@@ -249,7 +259,38 @@ func CalculateModel(si, sj []trace.Event, mm *memmodel.Table) []*Hint {
 		}
 		return hints[a].Reorderer < hints[b].Reorderer
 	})
+	// Pair-level migration annotation: every hint of a migration-sensitive
+	// pair carries the (shared) per-CPU site list. Computed from the
+	// filtered sequences, so pre-filtering the inputs is idempotent.
+	for _, h := range hints {
+		h.Migrate = migrate
+	}
 	return hints
+}
+
+// perCPUSites returns the sorted, deduplicated instruction sites among both
+// filtered sequences whose accesses touched per-CPU memory, or nil when the
+// pair shares no per-CPU location.
+func perCPUSites(fi, fj []trace.Event) []trace.InstrID {
+	var sites []trace.InstrID
+	for _, evs := range [][]trace.Event{fi, fj} {
+		for _, e := range evs {
+			if !e.Barrier && e.Acc.PerCPU {
+				sites = append(sites, e.Acc.Instr)
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	out := sites[:1]
+	for _, s := range sites[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // groupByBarrier is Step 2 of Algorithm 1: split the call's accesses into

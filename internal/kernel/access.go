@@ -39,6 +39,7 @@ func (t *Task) load(i trace.InstrID, addr trace.Addr, atom trace.Atomicity) uint
 		t.Prof.RecordAccess(trace.AccessEvent{
 			Instr: i, Addr: addr, Size: kmem.WordSize,
 			Kind: trace.Load, Atomic: atom, Time: t.K.Em.Now(),
+			PerCPU: t.K.IsPerCPU(addr),
 		})
 		if atom != trace.Plain {
 			// Annotated loads act as a load barrier for subsequent
@@ -94,7 +95,7 @@ func (t *Task) storeOpt(i trace.InstrID, addr trace.Addr, v uint64, atom trace.A
 		t.Prof.RecordAccess(trace.AccessEvent{
 			Instr: i, Addr: addr, Size: kmem.WordSize,
 			Kind: trace.Store, Atomic: atom, Time: t.K.Em.Now(),
-			NoYield: !yield,
+			NoYield: !yield, PerCPU: t.K.IsPerCPU(addr),
 		})
 	}
 }

@@ -94,6 +94,7 @@ type Kernel struct {
 	nextID int
 
 	percpuStride trace.Addr
+	percpuRanges []percpuRange
 	nrCPU        int
 
 	rcu *RCU
@@ -143,6 +144,7 @@ func (k *Kernel) Reset() {
 	k.tasks = k.tasks[:0]
 	k.nextID = 0
 	k.percpuStride = 0
+	k.percpuRanges = k.percpuRanges[:0]
 	k.rcu = nil
 }
 
@@ -365,7 +367,29 @@ func Field(base trace.Addr, i int) trace.Addr {
 func (k *Kernel) PerCPUAlloc(n int) trace.Addr {
 	base := k.Mem.AllocZeroed(n * k.nrCPU)
 	k.percpuStride = trace.Addr(n * kmem.WordSize)
+	k.percpuRanges = append(k.percpuRanges, percpuRange{
+		base: base,
+		end:  base + trace.Addr(n*k.nrCPU*kmem.WordSize),
+	})
 	return base
+}
+
+// percpuRange is one per-CPU allocation's address span (all CPUs' copies).
+type percpuRange struct {
+	base, end trace.Addr
+}
+
+// IsPerCPU reports whether addr lies inside a per-CPU allocation made by
+// PerCPUAlloc since the last Reset. Profiling tags matching accesses with
+// trace.AccessEvent.PerCPU so hint calculation can mark migration-sensitive
+// pairs.
+func (k *Kernel) IsPerCPU(addr trace.Addr) bool {
+	for _, r := range k.percpuRanges {
+		if addr >= r.base && addr < r.end {
+			return true
+		}
+	}
+	return false
 }
 
 // ThisCPUAddr resolves a per-CPU handle for the CPU the task currently runs

@@ -77,8 +77,21 @@ type BugInfo struct {
 	OFencePattern bool
 	// Expected reproduction outcome for Table 4 ("yes", "no", "partial").
 	Repro string
-	// Note is free-form (e.g. why T4#6 is not reproducible).
+	// Note is free-form (e.g. why T4#6 needs the Migration strategy).
 	Note string
+	// Strategy names the engine strategy required to reproduce the bug
+	// ("migration", "deferred"); empty means the default OOO strategy
+	// suffices. Corpus-wide tests run default-strategy campaigns and skip
+	// non-empty entries — dedicated per-strategy tests cover those.
+	Strategy string
+}
+
+// DeprecatedSwitches maps retired switch names to the message explaining
+// their replacement. The switches still function (modules keep honouring
+// them so historical experiments stay runnable) but CLIs warn when one is
+// requested.
+var DeprecatedSwitches = map[string]string{
+	"sbitmap:migration_assist": "deprecated: the Migration strategy reproduces T4#6 without assistance; use -strategy migration (docs/SCHEDULING.md)",
 }
 
 // ModuleInfo describes one module: its templates, bugs, and constructor.

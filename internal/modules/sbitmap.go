@@ -8,18 +8,24 @@ import (
 
 // sbitmap reproduces Table 4 bug #6 [Lei 2019, e6d1fa584e0d] "sbitmap: order
 // READ/WRITE freed instance and setting clear bit" (5.1-rc1) — the one bug
-// of the paper's benchmark that OZZ CANNOT reproduce (§6.2). The bug races
-// on a per-CPU allocation hint: triggering it requires two threads that
-// obtained the per-CPU hint address on the SAME CPU and then ran
-// concurrently on different CPUs after a migration. OZZ pins its concurrent
-// threads to distinct CPUs before executing system calls, so the racing
-// accesses resolve to different per-CPU copies and Algorithm 2 filters them
-// all out — no scheduling hint is ever produced.
+// of the paper's benchmark that the paper's OZZ CANNOT reproduce (§6.2).
+// The bug races on a per-CPU allocation hint: triggering it requires two
+// threads that obtained the per-CPU hint address on the SAME CPU and then
+// ran concurrently on different CPUs after a migration. The paper's OZZ
+// pins its concurrent threads to distinct CPUs before executing system
+// calls, so under the default OOO strategy the racing accesses resolve to
+// different per-CPU copies at execution time and the crash never fires.
 //
-// The paper verified this analysis by patching the kernel so both threads
-// resolve the hint from the same CPU; the switch
-// "sbitmap:migration_assist" models that manual assist: with it on, OZZ
-// reproduces the bug.
+// The Migration strategy closes the gap: the sequential profiling phase
+// runs both calls on CPU 0, so the per-CPU hint IS a shared location there
+// and Algorithm 2 keeps it — the hint comes out annotated with the per-CPU
+// sites (Hint.Migrate), and the strategy migrates the observer back to
+// CPU 0 at the scheduling point, reproducing the bug organically.
+//
+// The paper instead verified its analysis by patching the kernel so both
+// threads resolve the hint from the same CPU; the deprecated switch
+// "sbitmap:migration_assist" models that manual assist and is kept only
+// for the historical experiment (modules.DeprecatedSwitches).
 //
 // Protocol: sb_resize() resets this CPU's alloc hint and installs a smaller
 // word map; sb_get() reads the map pointer and the hint and indexes
@@ -67,8 +73,9 @@ func init() {
 				ID: "T4#6", Switch: "sbitmap:freed_order", Module: "sbitmap",
 				Subsystem: "sbitmap", KernelVersion: "5.1-rc1",
 				Title: "KASAN: slab-out-of-bounds Read in sbitmap_get",
-				Type:  "S-S", Table: 4, OFencePattern: false, Repro: "no",
-				Note: "races on a per-CPU variable; needs thread migration, which pinned OZZ threads never do. Reproducible only with the migration assist (§6.2).",
+				Type:  "S-S", Table: 4, OFencePattern: false, Repro: "yes",
+				Note:     "races on a per-CPU variable across a thread migration; the paper's pinned-thread OZZ cannot reproduce it (§6.2), the Migration strategy can — with no assist switch.",
+				Strategy: "migration",
 			},
 		},
 		Seeds: []string{

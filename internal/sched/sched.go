@@ -353,8 +353,11 @@ func (s *Session) pickOther(t *Task) *Task {
 	return blocked
 }
 
-// Migrate moves the task to another simulated CPU. The paper's Table 4 bug
-// #6 (sbitmap) requires thread migration, which OZZ does not perform —
-// its threads are pinned (§6.2); this hook exists to reproduce the paper's
-// manual-assist experiment.
+// Migrate moves the task to another simulated CPU. Migration does not flush
+// any OEMU store buffer and does not interact with the scheduler beyond
+// changing where per-CPU addresses resolve — exactly like a real kernel
+// migration observed from the migrated task. The paper's OZZ pins its
+// threads and cannot do this (§6.2, Table 4 #6); here the MigrateAt policy
+// performs the move at scheduling points, which is what the engine's
+// Migration strategy is built on.
 func (t *Task) Migrate(cpu int) { t.CPU = cpu }

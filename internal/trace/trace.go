@@ -196,6 +196,12 @@ type AccessEvent struct {
 	// indivisible), so occurrence counting for breakpoints must not count
 	// it separately.
 	NoYield bool
+	// PerCPU marks an access to memory obtained from a per-CPU allocation
+	// (kernel.PerCPUAlloc). Hint calculation uses it to classify a racing
+	// pair as migration-sensitive: a pair sharing per-CPU locations only
+	// races when one thread migrates between resolving the address and
+	// using it (Table 4 #6).
+	PerCPU bool
 }
 
 // BarrierEvent is the three-tuple recorded for a memory barrier (§4.2).

@@ -89,8 +89,8 @@ var (
 	FormatTable3 = bench.FormatTable3
 	// RunTable4 regenerates Table 4 (known-bug reproduction).
 	RunTable4 = bench.RunTable4
-	// RunSbitmapAssist runs the §6.2 migration-assist verification.
-	RunSbitmapAssist = bench.RunSbitmapAssist
+	// RunSbitmapPinned runs the §6.2 pinned-thread negative control.
+	RunSbitmapPinned = bench.RunSbitmapPinned
 	// FormatTable4 renders Table 4.
 	FormatTable4 = bench.FormatTable4
 	// MeasureThroughput regenerates the §6.3.2 comparison.
